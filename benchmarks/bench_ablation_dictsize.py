@@ -1,0 +1,54 @@
+"""Ablation: dictionary size sweep for cache items (DESIGN.md section 5).
+
+How much trained shared history does small-item compression actually need?
+Expected: steep gains up to a few KB, diminishing returns beyond.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_series
+from repro.codecs import get_codec, train_dictionary
+from repro.corpus import CACHE1_TYPES, generate_cache_items
+
+_DICT_SIZES = [512, 1024, 2048, 4096, 8192, 16384]
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    zstd = get_codec("zstd")
+    items = generate_cache_items(CACHE1_TYPES, 400, seed=190)
+    payloads = [p for __, p in items if len(p) < 2048]
+    train, test = payloads[: len(payloads) // 2], payloads[len(payloads) // 2 :][:80]
+    raw = sum(len(p) for p in test)
+    out = {0: raw / sum(len(zstd.compress(p, 3).data) for p in test)}
+    for size in _DICT_SIZES:
+        dictionary = train_dictionary(train, max_size=size)
+        compressed = sum(
+            len(zstd.compress(p, 3, dictionary=dictionary.content).data)
+            for p in test
+        )
+        out[size] = raw / compressed
+    return out
+
+
+def test_ablation_dictsize(benchmark, sweep, figure_output):
+    figure_output(
+        "ablation_dictsize",
+        format_series(
+            "small-item ratio vs dictionary size",
+            [(f"{size}B", ratio) for size, ratio in sorted(sweep.items())],
+            value_format="{:.2f}x",
+        ),
+    )
+    # Any dictionary beats none; going from tiny to mid-size helps a lot;
+    # the top end shows diminishing returns.
+    assert sweep[2048] > 1.5 * sweep[0]
+    assert sweep[4096] > 1.05 * sweep[512]
+    gain_low = sweep[4096] - sweep[512]
+    gain_high = sweep[16384] - sweep[4096]
+    assert gain_high < gain_low
+
+    payloads = [p for __, p in generate_cache_items(CACHE1_TYPES, 60, seed=191)]
+    benchmark(lambda: train_dictionary(payloads, max_size=4096))

@@ -1,0 +1,76 @@
+"""Fig. 1: ratio and speed for Zstd/Zlib/LZ4, levels 1-9, Silesia-like files.
+
+Paper shape: order-of-magnitude spread in ratio and speed across file
+types; for every file, level up => ratio up, compression speed down; LZ4
+fastest / zlib slowest at comparable levels.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.codecs import get_codec
+from repro.corpus import silesia_like_corpus
+from repro.perfmodel import DEFAULT_MACHINE
+
+_FILE_SIZE = 1 << 14
+_LEVELS = [1, 3, 5, 7, 9]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return silesia_like_corpus(_FILE_SIZE, seed=2023)
+
+
+def test_fig01_series(benchmark, corpus, figure_output):
+    from repro.analysis import ascii_scatter
+
+    rows = []
+    scatter = {}
+    for codec_name in ("zstd", "zlib", "lz4"):
+        codec = get_codec(codec_name)
+        for file_name, data in corpus.items():
+            points = []
+            for level in _LEVELS:
+                if not codec.min_level <= level <= codec.max_level:
+                    continue
+                result = codec.compress(data, level)
+                decoded = codec.decompress(result.data)
+                speed = DEFAULT_MACHINE.compress_speed(codec_name, result.counters)
+                points.append((speed / 1e6, result.ratio))
+                rows.append(
+                    [
+                        codec_name,
+                        file_name,
+                        level,
+                        f"{result.ratio:.2f}",
+                        f"{speed / 1e6:.0f}",
+                        f"{DEFAULT_MACHINE.decompress_speed(codec_name, decoded.counters) / 1e6:.0f}",
+                    ]
+                )
+            if file_name == "dickens-like":
+                scatter[codec_name] = points
+    figure_output(
+        "fig01_silesia",
+        format_table(
+            ["codec", "file", "level", "ratio", "comp MB/s", "decomp MB/s"],
+            rows,
+            title="Fig. 1: compression ratio and speed across Silesia-like files",
+        )
+        + "\n\n"
+        + ascii_scatter(
+            scatter,
+            x_label="compression MB/s",
+            y_label="ratio",
+            log_x=True,
+            width=56,
+            height=14,
+        )
+        + "\n (dickens-like file; levels trace each codec's curve right-to-left)",
+    )
+
+    # Benchmark kernel: zstd-3 on the text file (the figure's center point).
+    zstd = get_codec("zstd")
+    data = corpus["dickens-like"]
+    benchmark(lambda: zstd.compress(data, 3))

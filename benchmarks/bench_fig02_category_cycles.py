@@ -1,0 +1,40 @@
+"""Fig. 2: Zstd compute-cycle share per service category.
+
+Paper shape: considerable variance, ~1.8% to ~21.2%, Data Warehouse and
+Key-Value Store at the top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_series
+from repro.fleet import SamplingProfiler, characterize
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    profiler = SamplingProfiler(samples_per_day=300_000, seed=30)
+    return characterize(profiler.run(days=30))
+
+
+def test_fig02_category_cycles(benchmark, characterization, figure_output):
+    shares = {
+        category: share
+        for category, share in characterization.category_zstd_share.items()
+        if category != "Infra"
+    }
+    points = sorted(shares.items(), key=lambda kv: -kv[1])
+    figure_output(
+        "fig02_category_cycles",
+        format_series(
+            "Zstd cycles share by category (paper: 1.8%..21.2%)",
+            [(c, s * 100) for c, s in points],
+            value_format="{:.2f}%",
+        ),
+    )
+    assert max(shares.values()) > 0.15
+    assert min(shares.values()) < 0.03
+
+    profiler = SamplingProfiler(samples_per_day=50_000, seed=30)
+    benchmark(lambda: characterize(profiler.run(days=1)))

@@ -1,0 +1,55 @@
+"""Fig. 3: Zstd compression/decompression split by category and fleet-wide.
+
+Paper shape: decompression dominates most categories (reads outnumber
+writes), with write-heavy categories like Data Warehouse tilted the other
+way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.fleet import SamplingProfiler, characterize
+from repro.fleet.callstack import classify_stack
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return SamplingProfiler(samples_per_day=300_000, seed=31).run(days=30)
+
+
+def test_fig03_split(benchmark, samples, figure_output):
+    result = characterize(samples)
+    rows = []
+    for category, (comp, decomp) in sorted(result.category_split.items()):
+        if category == "Infra":
+            continue
+        rows.append([category, f"{comp * 100:.1f}%", f"{decomp * 100:.1f}%"])
+    # fleet-wide split
+    comp_total = decomp_total = 0
+    for sample in samples:
+        classified = classify_stack(sample.frames)
+        if classified and classified[0] == "zstd":
+            if classified[1] == "compress":
+                comp_total += sample.weight
+            else:
+                decomp_total += sample.weight
+    fleet_comp = comp_total / (comp_total + decomp_total)
+    rows.append(["(fleet)", f"{fleet_comp * 100:.1f}%", f"{(1 - fleet_comp) * 100:.1f}%"])
+    figure_output(
+        "fig03_comp_decomp_split",
+        format_table(
+            ["category", "compress", "decompress"],
+            rows,
+            title="Fig. 3: Zstd compression/decompression cycle split",
+        ),
+    )
+    decompress_heavy = sum(
+        1
+        for c, (comp, decomp) in result.category_split.items()
+        if decomp > comp and c != "Infra"
+    )
+    assert decompress_heavy >= 3
+
+    benchmark(lambda: characterize(samples))

@@ -1,0 +1,60 @@
+"""Fig. 7: warehouse workflows' compression/decompression split plus the
+match-finding vs entropy-encoding attribution inside compression.
+
+Paper shape: DW2 splits ~22% compression / ~8% decompression; match
+finding dominates DW1 (level 7, up to ~80%) but only ~30% for DW4
+(level 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.corpus import generate_table
+from repro.services import IngestionJob, MLDataJob, ShuffleJob, SparkJob
+
+
+@pytest.fixture(scope="module")
+def reports():
+    table = generate_table(2500, seed=50)
+    ingest = IngestionJob().run(table)
+    return {
+        "DW1": ingest.report,
+        "DW2": ShuffleJob().run(ingest.payload).report,
+        "DW3": SparkJob().run(ingest.payload).report,
+        "DW4": MLDataJob().run(ingest.payload).report,
+    }
+
+
+def test_fig07_warehouse_split(benchmark, reports, figure_output):
+    rows = []
+    for name, report in reports.items():
+        rows.append(
+            [
+                name,
+                f"{report.compress_share * 100:.1f}%",
+                f"{report.decompress_share * 100:.1f}%",
+                f"{report.match_finding_share_of_compression * 100:.0f}%",
+                f"{(1 - report.match_finding_share_of_compression) * 100:.0f}%",
+            ]
+        )
+    figure_output(
+        "fig07_warehouse_split",
+        format_table(
+            ["workflow", "comp", "decomp", "match-find %comp", "entropy %comp"],
+            rows,
+            title="Fig. 7: warehouse compression split and stage attribution",
+        ),
+    )
+    dw1, dw2, dw4 = reports["DW1"], reports["DW2"], reports["DW4"]
+    # DW2: compression-heavy split (paper: 22% vs 8%).
+    assert dw2.compress_share > 2 * dw2.decompress_share
+    # Stage attribution: level 7 (DW1) is match-finding dominated, level 1
+    # (DW4) is not.
+    assert dw1.match_finding_share_of_compression > 0.5
+    assert dw4.match_finding_share_of_compression < 0.5
+
+    table = generate_table(400, seed=51)
+    job = IngestionJob()
+    benchmark(lambda: job.run(table))

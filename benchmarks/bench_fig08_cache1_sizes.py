@@ -1,0 +1,32 @@
+"""Fig. 8: CACHE1 item size distribution.
+
+Paper shape: strongly skewed toward items under 1KB with a long tail of
+larger items.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_series, log2_histogram, summarize_sizes
+from repro.corpus import CACHE1_TYPES, generate_cache_items
+
+
+def test_fig08_cache1_sizes(benchmark, figure_output):
+    items = generate_cache_items(CACHE1_TYPES, 2000, seed=80)
+    sizes = [len(payload) for __, payload in items]
+    histogram = log2_histogram(sizes)
+    summary = summarize_sizes(sizes)
+    text = format_series(
+        "CACHE1 item size histogram",
+        [(bucket, fraction * 100) for bucket, fraction in histogram],
+        value_format="{:.1f}%",
+    )
+    text += (
+        f"\np50={summary['p50']:.0f}B p99={summary['p99']:.0f}B "
+        f"below 1KB: {summary['below_1kb'] * 100:.1f}%"
+    )
+    figure_output("fig08_cache1_sizes", text)
+
+    assert summary["below_1kb"] > 0.5
+    assert summary["p99"] > 4 * summary["p50"]
+
+    benchmark(lambda: summarize_sizes(sizes))

@@ -1,0 +1,35 @@
+"""Fig. 9: CACHE2 (social-graph store) item size distribution.
+
+Paper shape: like CACHE1 but skewed even smaller (graph edges and
+association counters).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_series, log2_histogram, summarize_sizes
+from repro.corpus import CACHE1_TYPES, CACHE2_TYPES, generate_cache_items
+
+
+def test_fig09_cache2_sizes(benchmark, figure_output):
+    items = generate_cache_items(CACHE2_TYPES, 2000, seed=90)
+    sizes = [len(payload) for __, payload in items]
+    histogram = log2_histogram(sizes)
+    summary = summarize_sizes(sizes)
+    text = format_series(
+        "CACHE2 item size histogram",
+        [(bucket, fraction * 100) for bucket, fraction in histogram],
+        value_format="{:.1f}%",
+    )
+    text += (
+        f"\np50={summary['p50']:.0f}B p99={summary['p99']:.0f}B "
+        f"below 1KB: {summary['below_1kb'] * 100:.1f}%"
+    )
+    figure_output("fig09_cache2_sizes", text)
+
+    assert summary["below_1kb"] > 0.6
+    # CACHE2 items run smaller than CACHE1's.
+    cache1 = generate_cache_items(CACHE1_TYPES, 2000, seed=90)
+    cache1_p50 = summarize_sizes([len(p) for __, p in cache1])["p50"]
+    assert summary["p50"] < cache1_p50
+
+    benchmark(lambda: log2_histogram(sizes))

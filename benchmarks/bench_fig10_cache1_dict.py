@@ -1,0 +1,91 @@
+"""Fig. 10: CACHE1 compression speed vs ratio, with and without
+per-type dictionaries, Zstd levels 1/3/6/11.
+
+Paper shape: the dictionary curve sits strictly above (higher ratio at
+every level); level up => ratio up, speed down along each curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.codecs import get_codec, train_dictionary
+from repro.codecs.base import StageCounters
+from repro.corpus import CACHE1_TYPES, generate_cache_items
+from repro.perfmodel import DEFAULT_MACHINE
+
+LEVELS = [1, 3, 6, 11]
+
+
+def dictionary_sweep(type_specs, seed, levels=LEVELS, item_count=400):
+    """(level, use_dict) -> (ratio, modeled compression MB/s)."""
+    zstd = get_codec("zstd")
+    items = generate_cache_items(type_specs, item_count, seed=seed)
+    by_type = {}
+    for type_name, payload in items:
+        by_type.setdefault(type_name, []).append(payload)
+    dictionaries = {
+        type_name: train_dictionary(payloads[: len(payloads) // 2], 8192)
+        for type_name, payloads in by_type.items()
+    }
+    test_items = []
+    for type_name, payloads in by_type.items():
+        test_items.extend((type_name, p) for p in payloads[len(payloads) // 2 :])
+
+    curves = {}
+    for use_dict in (False, True):
+        for level in levels:
+            raw = compressed = 0
+            counters = StageCounters()
+            for type_name, payload in test_items:
+                dictionary = (
+                    dictionaries[type_name].content if use_dict else None
+                )
+                result = zstd.compress(payload, level, dictionary=dictionary)
+                raw += len(payload)
+                compressed += len(result.data)
+                counters.merge(result.counters)
+            curves[(level, use_dict)] = (
+                raw / compressed,
+                DEFAULT_MACHINE.compress_speed("zstd", counters) / 1e6,
+            )
+    return curves
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return dictionary_sweep(CACHE1_TYPES, seed=100)
+
+
+def test_fig10_cache1_dict(benchmark, curves, figure_output):
+    rows = [
+        [
+            f"level {level}",
+            "dict" if use_dict else "plain",
+            f"{ratio:.2f}",
+            f"{speed:.0f}",
+        ]
+        for (level, use_dict), (ratio, speed) in sorted(curves.items())
+    ]
+    figure_output(
+        "fig10_cache1_dict",
+        format_table(
+            ["level", "mode", "ratio", "comp MB/s"],
+            rows,
+            title="Fig. 10: CACHE1 ratio/speed with and without dictionaries",
+        ),
+    )
+    # Dictionary achieves a much higher ratio at the same level, everywhere.
+    for level in LEVELS:
+        plain_ratio = curves[(level, False)][0]
+        dict_ratio = curves[(level, True)][0]
+        assert dict_ratio > 1.15 * plain_ratio, level
+    # Along each curve: higher level, higher ratio (with the paper's caveat
+    # about occasional inconsistencies -- compare endpoints only).
+    assert curves[(11, True)][0] > curves[(1, True)][0]
+    assert curves[(11, True)][1] < curves[(1, True)][1]
+
+    items = generate_cache_items(CACHE1_TYPES, 30, seed=101)
+    zstd = get_codec("zstd")
+    benchmark(lambda: [zstd.compress(p, 3) for __, p in items])

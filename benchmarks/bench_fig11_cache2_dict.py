@@ -1,0 +1,47 @@
+"""Fig. 11: CACHE2 dictionary-vs-plain speed/ratio curves (levels 1/3/6/11).
+
+Same shape as Fig. 10 on the smaller social-graph items, where plain
+compression struggles even more and the dictionary gain is larger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.corpus import CACHE2_TYPES, generate_cache_items
+
+from bench_fig10_cache1_dict import LEVELS, dictionary_sweep
+
+
+@pytest.fixture(scope="module")
+def curves():
+    return dictionary_sweep(CACHE2_TYPES, seed=110)
+
+
+def test_fig11_cache2_dict(benchmark, curves, figure_output):
+    rows = [
+        [
+            f"level {level}",
+            "dict" if use_dict else "plain",
+            f"{ratio:.2f}",
+            f"{speed:.0f}",
+        ]
+        for (level, use_dict), (ratio, speed) in sorted(curves.items())
+    ]
+    figure_output(
+        "fig11_cache2_dict",
+        format_table(
+            ["level", "mode", "ratio", "comp MB/s"],
+            rows,
+            title="Fig. 11: CACHE2 ratio/speed with and without dictionaries",
+        ),
+    )
+    for level in LEVELS:
+        assert curves[(level, True)][0] > 1.15 * curves[(level, False)][0], level
+
+    items = generate_cache_items(CACHE2_TYPES, 50, seed=111)
+    from repro.codecs import train_dictionary
+
+    payloads = [p for __, p in items]
+    benchmark(lambda: train_dictionary(payloads, 4096))

@@ -1,0 +1,67 @@
+"""Fig. 12: ADS1 compression ratio and speed across Zstd levels -5..9 for
+three ranking models.
+
+Paper shape: each model traces its own ratio/speed curve; the sparser
+model A achieves the highest ratios; model C (same data as B, different
+serialization) sits on a distinct curve.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.codecs import get_codec
+from repro.corpus import generate_ads_request
+from repro.perfmodel import DEFAULT_MACHINE
+
+_LEVELS = [-5, -3, -1, 1, 3, 5, 7, 9]
+_MODELS = ["A", "B", "C"]
+
+
+@pytest.fixture(scope="module")
+def curves():
+    zstd = get_codec("zstd")
+    out = {}
+    for model in _MODELS:
+        payload = generate_ads_request(model, seed=120)
+        for level in _LEVELS:
+            result = zstd.compress(payload, level)
+            out[(model, level)] = (
+                result.ratio,
+                DEFAULT_MACHINE.compress_speed("zstd", result.counters) / 1e6,
+            )
+    return out
+
+
+def test_fig12_ads_models(benchmark, curves, figure_output):
+    rows = [
+        [model, level, f"{ratio:.2f}", f"{speed:.0f}"]
+        for (model, level), (ratio, speed) in sorted(curves.items())
+    ]
+    figure_output(
+        "fig12_ads_models",
+        format_table(
+            ["model", "level", "ratio", "comp MB/s"],
+            rows,
+            title="Fig. 12: ADS1 ratio/speed by model and level",
+        ),
+    )
+    # Model A (sparsest) compresses best at every level.
+    for level in _LEVELS:
+        assert curves[("A", level)][0] > curves[("B", level)][0], level
+    # Model C's serialization puts it on a different curve from B.
+    diffs = [
+        abs(curves[("C", level)][0] - curves[("B", level)][0])
+        / curves[("B", level)][0]
+        for level in _LEVELS
+    ]
+    assert max(diffs) > 0.10
+    # Level ladder: endpoints trade speed for ratio on every model.
+    for model in _MODELS:
+        assert curves[(model, 9)][0] >= curves[(model, -5)][0]
+        assert curves[(model, 9)][1] < curves[(model, -5)][1]
+
+    zstd = get_codec("zstd")
+    payload = generate_ads_request("B", seed=121)
+    benchmark(lambda: zstd.compress(payload, 1))

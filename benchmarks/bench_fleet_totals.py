@@ -1,0 +1,42 @@
+"""Section III-B headline numbers: fleet-wide compression cycle shares.
+
+Paper: 4.6% of all compute cycles in (de)compression -- 3.9% Zstd,
+0.4% LZ4, 0.3% Zlib.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_series
+from repro.fleet import SamplingProfiler, characterize
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    return characterize(
+        SamplingProfiler(samples_per_day=400_000, seed=36).run(days=30)
+    )
+
+
+def test_fleet_totals(benchmark, characterization, figure_output):
+    shares = characterization.algorithm_shares
+    text = format_series(
+        "fleet compression cycle shares",
+        [
+            ("total", characterization.compression_share * 100),
+            ("zstd (paper 3.9%)", shares.get("zstd", 0) * 100),
+            ("lz4 (paper 0.4%)", shares.get("lz4", 0) * 100),
+            ("zlib (paper 0.3%)", shares.get("zlib", 0) * 100),
+        ],
+        value_format="{:.2f}%",
+    )
+    figure_output("fleet_totals", text + "\n(paper total: 4.6%)")
+
+    assert characterization.compression_share == pytest.approx(0.046, abs=0.006)
+    assert shares["zstd"] == pytest.approx(0.039, abs=0.004)
+    assert shares["zstd"] > shares["lz4"] > 0
+    assert shares["zstd"] > shares["zlib"] > 0
+
+    profiler = SamplingProfiler(samples_per_day=100_000, seed=37)
+    benchmark(lambda: characterize(profiler.run(days=2)).compression_share)

@@ -1,0 +1,59 @@
+"""Ablation: CompOpt search strategies (Section V-A / VI-C).
+
+Exhaustive search is the paper's baseline; random sampling and the
+evolutionary search trade exploration for fewer candidate evaluations --
+the trade an auto-tuner would make on larger spaces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import CompEngine, CompOpt, CostModel, CostParameters
+from repro.core.config import config_grid
+from repro.core.search import EvolutionarySearch, ExhaustiveSearch, RandomSearch
+from repro.corpus import generate_records
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    engine = CompEngine([generate_records(16384, seed=200)])
+    model = CostModel(CostParameters.from_price_book(beta=1e-7))
+    grid = config_grid(["zstd", "lz4", "zlib"], levels=range(1, 10))
+    out = {}
+    for name, strategy in (
+        ("exhaustive", ExhaustiveSearch()),
+        ("random-8", RandomSearch(budget=8, seed=1)),
+        ("evolutionary", EvolutionarySearch(generations=4, population=6, seed=1)),
+    ):
+        result = CompOpt(engine, model, strategy=strategy).optimize(grid)
+        out[name] = (len(result.ranked), result.best_any.total_cost)
+    return out
+
+
+def test_search_strategies(benchmark, comparison, figure_output):
+    best_exhaustive = comparison["exhaustive"][1]
+    rows = [
+        [name, evaluated, f"{cost / best_exhaustive:.3f}"]
+        for name, (evaluated, cost) in comparison.items()
+    ]
+    figure_output(
+        "search_strategies",
+        format_table(
+            ["strategy", "configs evaluated", "best cost vs exhaustive"],
+            rows,
+            title="Ablation: CompOpt search strategies",
+        ),
+    )
+    # Cheaper strategies evaluate fewer configs...
+    assert comparison["random-8"][0] < comparison["exhaustive"][0]
+    assert comparison["evolutionary"][0] < comparison["exhaustive"][0]
+    # ...and stay within 30% of the exhaustive optimum on this grid.
+    assert comparison["evolutionary"][1] <= 1.3 * best_exhaustive
+    assert comparison["random-8"][1] <= 1.3 * best_exhaustive
+
+    engine = CompEngine([generate_records(4096, seed=201)])
+    model = CostModel(CostParameters.from_price_book(beta=1e-7))
+    small_grid = config_grid(["zstd"], levels=[1, 3])
+    benchmark(lambda: CompOpt(engine, model).optimize(small_grid))

@@ -1,0 +1,72 @@
+"""Section VI: workload categories A-D and the HW-offload guidance.
+
+"datacenter applications can be categorized into A) Compression
+speed-sensitive ... B) Decompression speed-sensitive ... C) Latency-
+insensitive ... D) Small data-friendly" (VI-A), and "services that belong
+to Category A and C ... might prefer compression HWs ... while it would be
+better to run compression on CPU for Category B and D ... unless the
+accelerator is located very closely (such as on-chip)" (VI-B).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core.categories import (
+    WorkloadCategory,
+    WorkloadTraits,
+    classify_catalog,
+    offload_recommendation,
+)
+
+_PLACEMENTS = {
+    "on-chip (0.5us)": 0.5e-6,
+    "pcie (20us)": 20e-6,
+}
+
+_TRAITS = {
+    "DW1": WorkloadTraits(262144, 0.2, False),
+    "DW2": WorkloadTraits(262144, 0.4, True),
+    "KVSTORE1": WorkloadTraits(16384, 6.0, True),
+    "CACHE1": WorkloadTraits(400, 20.0, True, typed_small_messages=True),
+}
+
+
+@pytest.fixture(scope="module")
+def advice_grid():
+    out = {}
+    for service, traits in _TRAITS.items():
+        for placement, overhead in _PLACEMENTS.items():
+            out[(service, placement)] = offload_recommendation(traits, overhead)
+    return out
+
+
+def test_sec6_categories(benchmark, advice_grid, figure_output):
+    catalog_rows = [
+        [name, f"{category.value} ({category.name.replace('_', ' ').lower()})"]
+        for name, category in classify_catalog()
+    ]
+    advice_rows = [
+        [service, placement, advice.category.value,
+         "offload" if advice.offload else "stay on CPU"]
+        for (service, placement), advice in sorted(advice_grid.items())
+    ]
+    figure_output(
+        "sec6_categories",
+        format_table(["service", "category"], catalog_rows,
+                     title="Section VI-A: Table-I services categorized")
+        + "\n\n"
+        + format_table(["service", "accelerator", "cat", "recommendation"],
+                       advice_rows,
+                       title="Section VI-B: offload guidance by placement"),
+    )
+    # The catalog spans all four categories.
+    assert {c for __, c in classify_catalog()} == set(WorkloadCategory)
+    # A/C offload everywhere; D offloads only on-chip (VI-B's claim).
+    assert advice_grid[("DW1", "pcie (20us)")].offload
+    assert advice_grid[("DW2", "pcie (20us)")].offload
+    assert not advice_grid[("CACHE1", "pcie (20us)")].offload
+    assert advice_grid[("CACHE1", "on-chip (0.5us)")].offload
+
+    benchmark(lambda: classify_catalog())

@@ -1,0 +1,30 @@
+"""Table I: the eight services characterized at service level."""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.services.catalog import SERVICE_CATALOG
+
+
+def test_table1_services(benchmark, figure_output):
+    rows = [
+        [
+            info.name,
+            info.category,
+            info.description,
+            info.resource_boundedness,
+            info.key_takeaway,
+        ]
+        for info in SERVICE_CATALOG.values()
+    ]
+    figure_output(
+        "table1_services",
+        format_table(
+            ["Service", "Category", "Description", "Boundedness", "Key takeaway"],
+            rows,
+            title="Table I: representative services",
+        ),
+    )
+    assert len(rows) == 8
+
+    benchmark(lambda: list(SERVICE_CATALOG.values()))

@@ -1,0 +1,35 @@
+"""Benchmark harness plumbing.
+
+Every ``bench_*`` module regenerates one table or figure from the paper:
+it prints (and writes under ``benchmarks/results/``) the same rows or
+series the paper reports, and registers one pytest-benchmark kernel for
+the representative operation behind that figure.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Figure outputs land in ``benchmarks/results/<figure>.txt`` regardless of
+output capture, so the run doubles as the EXPERIMENTS.md data source.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def figure_output():
+    """Writer: figure_output(name, text) prints and persists figure data."""
+    _RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = _RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return write

@@ -1,0 +1,62 @@
+"""ADS1 scenario: tune request compression for a latency-bound inference
+service (paper Section IV-D and sensitivity study 1).
+
+Serves batches of requests for the three ranking models at several levels,
+shows the latency/network trade-off, then runs CompOpt with a compression-
+speed requirement the way the paper's study 1 does.
+
+Run:  python examples/ads_network_tuning.py
+"""
+
+from repro import (
+    CompEngine,
+    CompOpt,
+    CostModel,
+    CostParameters,
+    MinCompressionSpeed,
+)
+from repro.core.config import config_grid
+from repro.corpus import generate_ads_request
+from repro.services import AdsInferenceService
+
+
+def main() -> None:
+    print("per-model serving behaviour (zstd level 1):")
+    for model in ("A", "B", "C"):
+        service = AdsInferenceService(level=1)
+        stats = service.serve_batch(model, request_count=3, seed=7)
+        print(
+            f"  model {model}: wire ratio {stats.wire_ratio:5.2f}  "
+            f"mean latency {stats.mean_latency_seconds * 1e3:6.2f} ms  "
+            f"zstd cycle share {stats.zstd_cycle_share * 100:4.1f}%"
+        )
+
+    print("\nlatency vs level for model B (compression is on the request path):")
+    for level in (-5, 1, 3, 6, 9):
+        service = AdsInferenceService(level=level)
+        stats = service.serve_batch("B", request_count=2, seed=9)
+        print(
+            f"  level {level:3d}: wire ratio {stats.wire_ratio:5.2f}  "
+            f"mean latency {stats.mean_latency_seconds * 1e3:6.2f} ms"
+        )
+
+    print("\nCompOpt (compute + network cost, compression-speed floor):")
+    engine = CompEngine([generate_ads_request("B", seed=s) for s in range(3)])
+    params = CostParameters.from_price_book(storage_weight=0.0, beta=1e-7)
+    optimizer = CompOpt(
+        engine, CostModel(params), [MinCompressionSpeed(350e6)]
+    )
+    result = optimizer.optimize(
+        config_grid(["zstd", "lz4", "zlib"], levels=range(1, 10))
+    )
+    for ranked in result.ranked[:6]:
+        print(
+            f"  {ranked.config.label():9s} "
+            f"norm cost {ranked.total_cost / result.worst.total_cost:5.3f}"
+            f"{'' if ranked.feasible else '  (too slow)'}"
+        )
+    print(f"  -> winner: {result.best.config.label()} (paper: zstd level 4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Auto-tuner (paper Section VI-C): service data characteristics drift over
+time, so the optimal compression configuration drifts too; the
+:class:`~repro.core.autotuner.AutoTuner` watches the byte-level distribution
+of fresh samples and re-runs CompOpt only when the data actually moves.
+
+The workload starts as highly structured records (dictionary-friendly) and
+drifts toward sparse binary feature payloads; the tuner follows.
+
+Run:  python examples/autotuner_drift.py
+"""
+
+from repro.core import AutoTuner, CostModel, CostParameters
+from repro.core.config import config_grid
+from repro.corpus import generate_ads_request, generate_records
+
+
+def _workload(epoch: int) -> list:
+    """Samples whose composition drifts with the epoch (0..4)."""
+    structured = 4 - epoch
+    binary = epoch
+    samples = [generate_records(8192, seed=epoch * 10 + i) for i in range(structured)]
+    samples += [
+        generate_ads_request("B", seed=epoch * 10 + i)[:8192] for i in range(binary)
+    ]
+    return samples or [generate_records(8192, seed=epoch)]
+
+
+def main() -> None:
+    model = CostModel(
+        CostParameters.from_price_book(beta=1e-6, retention_days=14.0)
+    )
+    grid = config_grid(["zstd", "lz4"], levels=[1, 3, 6, 9])
+    tuner = AutoTuner(model, grid, drift_threshold=0.06, window=4)
+
+    print("epoch  workload mix              config        ratio  event")
+    for epoch in range(5):
+        event = tuner.observe(_workload(epoch))
+        current = tuner.current
+        mix = f"{4 - epoch} structured / {epoch} binary"
+        note = event.reason if event else "(no drift, config kept)"
+        print(
+            f"  {epoch}    {mix:24s} {current.config.label():12s} "
+            f"{current.metrics.ratio:5.2f}  {note}"
+        )
+
+    print(
+        f"\n{len(tuner.history)} tuning passes over 5 epochs -- CompOpt ran"
+        f"\nonly when the byte distribution moved, which is the cost/SLO-aware"
+        f"\nauto-tuner loop the paper sketches in Section VI-C."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Far memory: proactive compression of cold pages (paper Section I).
+
+A pool of 4 KB pages with a skewed (hot/cold) access pattern; cold pages
+are compressed in place, hot accesses to compressed pages fault them back
+in at a decompression latency cost.
+
+Run:  python examples/far_memory.py
+"""
+
+import random
+
+from repro.corpus import generate_records
+from repro.services import FarMemoryPool
+from repro.services.farmemory import PAGE_SIZE
+
+
+def main() -> None:
+    pool = FarMemoryPool(level=1, cold_age_ticks=3)
+    page_count = 64
+    for page_number in range(page_count):
+        pool.write(page_number, generate_records(PAGE_SIZE, seed=page_number))
+    print(f"installed {page_count} pages ({page_count * PAGE_SIZE // 1024} KB)")
+
+    # Skewed accesses: ~90% of touches land on 8 hot pages.
+    rng = random.Random(17)
+    hot = list(range(8))
+    for round_number in range(20):
+        pool.tick()
+        for __ in range(30):
+            if rng.random() < 0.9:
+                pool.read(rng.choice(hot))
+            else:
+                pool.read(rng.randrange(page_count))
+
+    stats = pool.stats
+    print(f"\nafter 20 reclaim rounds:")
+    print(f"  resident plaintext: {pool.resident_bytes // 1024} KB")
+    print(f"  compressed pool:    {pool.compressed_bytes // 1024} KB")
+    print(f"  memory saving:      {pool.memory_saving * 100:.1f}%")
+    print(f"  pages compressed:   {stats.pages_compressed}")
+    print(f"  faults:             {stats.pages_faulted} "
+          f"(mean {stats.mean_fault_seconds * 1e6:.1f} us each)")
+    print(
+        "\nthe compute-for-DRAM trade: each fault costs a block decompression,"
+        "\nbut the cold majority of the pool shrinks several-fold."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Fleet-level characterization: profile the synthetic fleet for 30 days
+and print the Section-III views (Figs 2-5 and the headline totals).
+
+Run:  python examples/fleet_characterization.py
+"""
+
+from repro.analysis import summarize_sizes
+from repro.fleet import DEFAULT_FLEET, SamplingProfiler, characterize
+
+
+def main() -> None:
+    profiler = SamplingProfiler(samples_per_day=300_000, seed=2023)
+    print("profiling the fleet for 30 simulated days ...")
+    samples = profiler.run(days=30)
+    result = characterize(samples)
+
+    print(
+        f"\nfleet totals: {result.compression_share * 100:.2f}% of cycles in "
+        f"(de)compression (paper: 4.6%)"
+    )
+    for algorithm, share in sorted(
+        result.algorithm_shares.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {algorithm:5s}: {share * 100:.2f}%")
+
+    print("\nZstd cycle share by category (Fig. 2):")
+    for category, share in sorted(
+        result.category_zstd_share.items(), key=lambda kv: -kv[1]
+    ):
+        if category == "Infra":
+            continue
+        comp, decomp = result.category_split.get(category, (0.0, 0.0))
+        print(
+            f"  {category:17s} {share * 100:5.2f}%   "
+            f"split {comp * 100:4.1f}% comp / {decomp * 100:4.1f}% decomp"
+        )
+
+    print("\nZstd level usage (Fig. 4):")
+    for level, share in result.level_usage.items():
+        print(f"  level {level:2d}: {share * 100:5.1f}%")
+    print(f"  levels 1-4 total: {result.low_level_share(4) * 100:.1f}% (paper: >50%)")
+
+    print("\nblock sizes by service (Fig. 5, medians):")
+    for profile in DEFAULT_FLEET:
+        if profile.compression_share == 0:
+            continue
+        sizes = profiler.block_size_samples(profile, count=500).tolist()
+        summary = summarize_sizes(sizes)
+        print(
+            f"  {profile.name:20s} p50 {summary['p50']:9,.0f} B   "
+            f"p99 {summary['p99']:10,.0f} B"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""KVSTORE1 scenario: run the LSM store end-to-end and sweep SST block
+sizes against a read-latency SLO (paper Section IV-E / Fig. 13 and
+sensitivity study 2).
+
+Run:  python examples/kvstore_block_size.py
+"""
+
+from repro import (
+    CompEngine,
+    CompOpt,
+    CompressionConfig,
+    CostModel,
+    CostParameters,
+    MaxBlockDecodeLatency,
+)
+from repro.corpus import generate_kv_records
+from repro.services import KVStore
+
+
+def main() -> None:
+    # --- end-to-end LSM store ------------------------------------------------
+    print("running the LSM store (put -> flush -> compact -> get):")
+    store = KVStore(compression_level=1, block_size=16384, memtable_bytes=1 << 15)
+    records = generate_kv_records(2000, seed=3)
+    for key, value in records:
+        store.put(key, value)
+    store.flush()
+    for key, expected in records[::97]:
+        assert store.get(key) == expected
+    print(
+        f"  SSTs: {store.sst_count}  flushes: {store.stats.flushes}  "
+        f"compactions: {store.stats.compactions}"
+    )
+    print(
+        f"  storage ratio: {store.stats.storage_ratio:.2f}x  "
+        f"mean read decode: {store.stats.mean_read_decode_seconds * 1e6:.1f} us"
+    )
+
+    # --- block size sweep -----------------------------------------------------
+    print("\nblock size sweep (zstd level 1):")
+    for block_size in (1024, 4096, 16384, 65536):
+        sweep_store = KVStore(
+            compression_level=1, block_size=block_size, memtable_bytes=1 << 15
+        )
+        for key, value in records:
+            sweep_store.put(key, value)
+        sweep_store.flush()
+        for key, __ in records[::53]:
+            sweep_store.get(key)
+        print(
+            f"  {block_size // 1024:3d}KB blocks: "
+            f"ratio {sweep_store.stats.storage_ratio:5.2f}x  "
+            f"read decode {sweep_store.stats.mean_read_decode_seconds * 1e6:6.1f} us"
+        )
+
+    # --- CompOpt with a read-latency SLO --------------------------------------
+    print("\nCompOpt (compute + flash storage, per-block decode budget):")
+    sample = b"".join(k + b"\x00" + v for k, v in records)
+    engine = CompEngine([sample])
+    params = CostParameters.from_price_book(
+        network_weight=0.0, storage_kind="flash", beta=1e-7, retention_days=90.0
+    )
+    grid = [
+        CompressionConfig(algo, 1, block)
+        for algo in ("zstd", "lz4")
+        for block in (4096, 8192, 16384, 32768, 65536)
+    ]
+    mid_latency = engine.measure(CompressionConfig("zstd", 1, 16384))
+    budget = mid_latency.decode_seconds_per_block * 1.5
+    optimizer = CompOpt(
+        engine, CostModel(params), [MaxBlockDecodeLatency(budget)]
+    )
+    result = optimizer.optimize(grid)
+    unconstrained = CompOpt(engine, CostModel(params)).optimize(grid)
+    print(f"  unconstrained winner: {unconstrained.best_any.config.label()}")
+    print(
+        f"  with a {budget * 1e6:.1f} us decode budget: "
+        f"{result.best.config.label()}"
+    )
+
+
+if __name__ == "__main__":
+    main()

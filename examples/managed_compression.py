@@ -1,0 +1,60 @@
+"""Managed Compression (paper Section II-B): a stateless-looking API over a
+stateful dictionary-management service.
+
+Callers just compress/decompress; the service samples traffic, trains
+per-use-case dictionaries, versions them, and keeps old versions alive for
+previously written blobs.
+
+Run:  python examples/managed_compression.py
+"""
+
+from repro.corpus import CACHE1_TYPES, generate_cache_items
+from repro.services import ManagedCompression
+
+
+def main() -> None:
+    service = ManagedCompression(sample_every=1)
+    # max_versions must cover the oldest blob still in flight -- the
+    # version-retention decision every managed deployment makes.
+    service.register_use_case(
+        "feed_items", level=3, dictionary_size=8192, retrain_interval=64,
+        max_versions=16,
+    )
+
+    items = [p for __, p in generate_cache_items(CACHE1_TYPES, 400, seed=13)]
+    print(f"compressing {len(items)} typed items through the managed API ...")
+
+    blobs = []
+    checkpoints = {}
+    for index, payload in enumerate(items):
+        blob = service.compress("feed_items", payload)
+        blobs.append((blob, payload))
+        if index in (50, 150, 300):
+            stats = service.stats("feed_items")
+            checkpoints[index] = (
+                service.current_version("feed_items"),
+                stats.ratio,
+            )
+
+    print("\ndictionary lifecycle:")
+    for index, (version, ratio) in checkpoints.items():
+        print(
+            f"  after {index:3d} calls: dictionary v{version}, "
+            f"cumulative ratio {ratio:.2f}x"
+        )
+    stats = service.stats("feed_items")
+    print(
+        f"\nfinal: v{service.current_version('feed_items')} "
+        f"({stats.retrains} retrains), overall ratio {stats.ratio:.2f}x"
+    )
+    print(f"available dictionary versions: {service.available_versions('feed_items')}")
+
+    print("\nverifying every blob decompresses (old versions included) ...")
+    for blob, payload in blobs:
+        assert service.decompress(blob) == payload
+    versions_used = sorted({blob.dictionary_version for blob, __ in blobs})
+    print(f"ok -- blobs spanned dictionary versions {versions_used}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Quickstart: compress data, measure the three metrics, and let CompOpt
+pick the cheapest configuration for a simple service.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CompEngine,
+    CompOpt,
+    CostModel,
+    CostParameters,
+    MinCompressionSpeed,
+    get_codec,
+)
+from repro.core.config import config_grid
+from repro.corpus import generate_records
+from repro.perfmodel import DEFAULT_MACHINE
+
+
+def main() -> None:
+    # --- 1. The codecs ----------------------------------------------------
+    data = generate_records(32768, seed=1)
+    for name in ("zstd", "lz4", "zlib"):
+        codec = get_codec(name)
+        result = codec.compress(data, codec.default_level)
+        restored = codec.decompress(result.data)
+        assert restored.data == data
+        speed = DEFAULT_MACHINE.compress_speed(name, result.counters) / 1e6
+        decode = DEFAULT_MACHINE.decompress_speed(name, restored.counters) / 1e6
+        print(
+            f"{name:5s} level {codec.default_level:2d}: "
+            f"ratio {result.ratio:5.2f}  comp {speed:6.0f} MB/s  "
+            f"decomp {decode:6.0f} MB/s"
+        )
+
+    # --- 2. CompOpt: find the cheapest configuration ----------------------
+    # A service that stores compressed records for 30 days and must keep
+    # compression above 100 MB/s.
+    engine = CompEngine([generate_records(16384, seed=s) for s in range(3)])
+    cost_model = CostModel(
+        CostParameters.from_price_book(beta=1e-6, retention_days=30.0)
+    )
+    optimizer = CompOpt(engine, cost_model, [MinCompressionSpeed(100e6)])
+    result = optimizer.optimize(config_grid(["zstd", "lz4", "zlib"], levels=range(1, 10)))
+
+    print("\nCompOpt ranking (top 5):")
+    for ranked in result.ranked[:5]:
+        marker = "*" if ranked is result.best else " "
+        print(
+            f" {marker} {ranked.config.label():10s} "
+            f"ratio {ranked.metrics.ratio:5.2f}  "
+            f"${ranked.total_cost:,.2f}"
+            f"{'' if ranked.feasible else '  (infeasible)'}"
+        )
+    best = result.best
+    print(f"\nbest feasible configuration: {best.config.label()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Distribution summaries used by the size-distribution figures (5, 8, 9)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = q / 100 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return float(ordered[low] * (1 - fraction) + ordered[high] * fraction)
+
+
+def size_bucket_label(low: int) -> str:
+    """Human label for a power-of-two size bucket starting at ``low``."""
+    if low >= 1 << 20:
+        return f"{low >> 20}MB"
+    if low >= 1 << 10:
+        return f"{low >> 10}KB"
+    return f"{low}B"
+
+
+def log2_histogram(values: Sequence[int]) -> List[Tuple[str, float]]:
+    """Histogram over power-of-two buckets: [(bucket label, fraction)].
+
+    The item-size figures (8, 9) bucket this way to show the sub-1KB mode
+    and the long tail on one axis.
+    """
+    if not values:
+        return []
+    counts: Dict[int, int] = {}
+    for value in values:
+        bucket = 1 << max(0, int(value).bit_length() - 1)
+        counts[bucket] = counts.get(bucket, 0) + 1
+    total = len(values)
+    return [
+        (size_bucket_label(bucket), counts[bucket] / total)
+        for bucket in sorted(counts)
+    ]
+
+
+def summarize_sizes(values: Sequence[int]) -> Dict[str, float]:
+    """p25/p50/p75/p99 + mean + share below 1KB, as the figures discuss."""
+    if not values:
+        raise ValueError("no sizes to summarize")
+    below_1kb = sum(1 for v in values if v < 1024) / len(values)
+    return {
+        "p25": percentile(values, 25),
+        "p50": percentile(values, 50),
+        "p75": percentile(values, 75),
+        "p99": percentile(values, 99),
+        "mean": sum(values) / len(values),
+        "below_1kb": below_1kb,
+    }

@@ -1,0 +1,33 @@
+"""Plain-text rendering so each bench prints the rows its figure plots."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width text table."""
+    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[Tuple[object, float]], value_format: str = "{:.3f}"
+) -> str:
+    """One named series as ``name: x=value`` pairs, one per line."""
+    lines = [f"series: {name}"]
+    for x, y in points:
+        lines.append(f"  {x} = " + value_format.format(y))
+    return "\n".join(lines)

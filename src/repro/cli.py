@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``compress`` / ``decompress`` -- file round-trips through any codec.
+- ``bench`` -- quick ratio/speed table for a file across codecs and levels
+  (an lzbench-style view using the calibrated machine model).
+- ``train-dict`` -- train a dictionary from sample files.
+- ``optimize`` -- run CompOpt over sample files and print the ranking.
+- ``fleet-report`` -- run the fleet profiling simulation and print the
+  Section-III characterization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.codecs import available_codecs, get_codec, train_dictionary
+from repro.perfmodel import DEFAULT_MACHINE
+
+
+def _read(path: str) -> bytes:
+    if path == "-":
+        return sys.stdin.buffer.read()
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _write(path: str, data: bytes) -> None:
+    if path == "-":
+        sys.stdout.buffer.write(data)
+        return
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    codec = get_codec(args.codec)
+    dictionary = _read(args.dictionary) if args.dictionary else None
+    data = _read(args.input)
+    result = codec.compress(data, args.level, dictionary=dictionary)
+    _write(args.output, result.data)
+    if args.output != "-":
+        speed = DEFAULT_MACHINE.compress_speed(codec.name, result.counters)
+        print(
+            f"{len(data)} -> {len(result.data)} bytes "
+            f"(ratio {result.ratio:.2f}, modeled {speed / 1e6:.0f} MB/s)"
+        )
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    codec = get_codec(args.codec)
+    dictionary = _read(args.dictionary) if args.dictionary else None
+    payload = _read(args.input)
+    result = codec.decompress(payload, dictionary=dictionary)
+    _write(args.output, result.data)
+    if args.output != "-":
+        print(f"{len(payload)} -> {len(result.data)} bytes")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.codecs.zstd import inspect_frame
+
+    payload = _read(args.input)
+    info = inspect_frame(payload)
+    print(f"content size:    {info.content_size}")
+    print(f"compressed size: {info.compressed_size}")
+    ratio = info.content_size / info.compressed_size if info.compressed_size else 0
+    print(f"ratio:           {ratio:.3f}")
+    print(f"window log:      {info.window_log}")
+    print(f"checksum:        {'yes' if info.has_checksum else 'no'}")
+    print(
+        f"dictionary id:   "
+        f"{'none' if info.dict_id is None else f'{info.dict_id:#010x}'}"
+    )
+    print(f"blocks:          {info.block_count} ({', '.join(info.block_types)})")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table
+
+    data = _read(args.input)
+    rows = []
+    for codec_name in args.codecs:
+        codec = get_codec(codec_name)
+        levels = args.levels or [codec.min_level, codec.default_level, codec.max_level]
+        for level in levels:
+            if not codec.min_level <= level <= codec.max_level:
+                continue
+            result = codec.compress(data, level)
+            decoded = codec.decompress(result.data)
+            rows.append(
+                [
+                    codec_name,
+                    level,
+                    f"{result.ratio:.3f}",
+                    f"{DEFAULT_MACHINE.compress_speed(codec_name, result.counters) / 1e6:.0f}",
+                    f"{DEFAULT_MACHINE.decompress_speed(codec_name, decoded.counters) / 1e6:.0f}",
+                ]
+            )
+    print(
+        format_table(
+            ["codec", "level", "ratio", "comp MB/s", "decomp MB/s"],
+            rows,
+            title=f"bench: {args.input} ({len(data)} bytes, modeled speeds)",
+        )
+    )
+    return 0
+
+
+def _cmd_train_dict(args: argparse.Namespace) -> int:
+    samples = [_read(path) for path in args.samples]
+    dictionary = train_dictionary(samples, max_size=args.max_size)
+    _write(args.output, dictionary.content)
+    print(
+        f"trained {len(dictionary)} bytes from {len(samples)} samples "
+        f"(dict id {dictionary.dict_id:#010x})"
+    )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.core import (
+        CompEngine,
+        CompOpt,
+        CostModel,
+        CostParameters,
+        MaxBlockDecodeLatency,
+        MinCompressionSpeed,
+    )
+    from repro.core.config import config_grid
+
+    samples = [_read(path) for path in args.samples]
+    engine = CompEngine(samples)
+    params = CostParameters.from_price_book(
+        beta=args.beta,
+        retention_days=args.retention_days,
+        storage_weight=0.0 if args.no_storage else 1.0,
+        network_weight=0.0 if args.no_network else 1.0,
+    )
+    requirements = []
+    if args.min_speed:
+        requirements.append(MinCompressionSpeed(args.min_speed * 1e6))
+    if args.max_decode_ms:
+        requirements.append(MaxBlockDecodeLatency(args.max_decode_ms / 1e3))
+    block_sizes = [b * 1024 for b in args.block_sizes] if args.block_sizes else [None]
+    grid = config_grid(args.codecs, levels=args.levels, block_sizes=block_sizes)
+    optimizer = CompOpt(engine, CostModel(params), requirements)
+    result = optimizer.optimize(grid)
+    print(f"{'config':14s} {'ratio':>6s} {'MB/s':>6s} {'cost':>12s}  feasible")
+    for ranked in result.ranked[: args.top]:
+        print(
+            f"{ranked.config.label():14s} "
+            f"{ranked.metrics.ratio:6.2f} "
+            f"{ranked.metrics.compression_speed / 1e6:6.0f} "
+            f"${ranked.total_cost:11,.2f}  "
+            f"{'yes' if ranked.feasible else 'no'}"
+        )
+    best = result.best
+    if best is None:
+        print("no configuration satisfies the requirements")
+        return 1
+    print(f"\nbest: {best.config.label()}")
+    return 0
+
+
+def _cmd_fleet_report(args: argparse.Namespace) -> int:
+    from repro.fleet import SamplingProfiler, characterize
+
+    profiler = SamplingProfiler(samples_per_day=args.samples_per_day, seed=args.seed)
+    result = characterize(profiler.run(days=args.days))
+    print(
+        f"compression share of fleet cycles: "
+        f"{result.compression_share * 100:.2f}%"
+    )
+    for algorithm, share in sorted(
+        result.algorithm_shares.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {algorithm:5s}: {share * 100:.2f}%")
+    print("by category:")
+    for category, share in sorted(
+        result.category_zstd_share.items(), key=lambda kv: -kv[1]
+    ):
+        if category == "Infra":
+            continue
+        print(f"  {category:17s} {share * 100:5.2f}%")
+    print(f"levels 1-4 cycle share: {result.low_level_share(4) * 100:.1f}%")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Datacenter compression characterization toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compress = sub.add_parser("compress", help="compress a file")
+    compress.add_argument("input")
+    compress.add_argument("output")
+    compress.add_argument("--codec", default="zstd", choices=available_codecs())
+    compress.add_argument("--level", type=int, default=None)
+    compress.add_argument("--dictionary", default=None)
+    compress.set_defaults(func=_cmd_compress)
+
+    decompress = sub.add_parser("decompress", help="decompress a file")
+    decompress.add_argument("input")
+    decompress.add_argument("output")
+    decompress.add_argument("--codec", default="zstd", choices=available_codecs())
+    decompress.add_argument("--dictionary", default=None)
+    decompress.set_defaults(func=_cmd_decompress)
+
+    inspect = sub.add_parser("inspect", help="show zstd frame metadata")
+    inspect.add_argument("input")
+    inspect.set_defaults(func=_cmd_inspect)
+
+    bench = sub.add_parser("bench", help="ratio/speed table for a file")
+    bench.add_argument("input")
+    bench.add_argument("--codecs", nargs="+", default=["zstd", "lz4", "zlib"])
+    bench.add_argument("--levels", nargs="+", type=int, default=None)
+    bench.set_defaults(func=_cmd_bench)
+
+    train = sub.add_parser("train-dict", help="train a dictionary from samples")
+    train.add_argument("output")
+    train.add_argument("samples", nargs="+")
+    train.add_argument("--max-size", type=int, default=16384)
+    train.set_defaults(func=_cmd_train_dict)
+
+    optimize = sub.add_parser("optimize", help="run CompOpt over sample files")
+    optimize.add_argument("samples", nargs="+")
+    optimize.add_argument("--codecs", nargs="+", default=["zstd", "lz4", "zlib"])
+    optimize.add_argument("--levels", nargs="+", type=int, default=None)
+    optimize.add_argument("--block-sizes", nargs="+", type=int, default=None,
+                          help="block sizes in KiB")
+    optimize.add_argument("--beta", type=float, default=1e-6)
+    optimize.add_argument("--retention-days", type=float, default=30.0)
+    optimize.add_argument("--min-speed", type=float, default=None,
+                          help="minimum compression speed, MB/s")
+    optimize.add_argument("--max-decode-ms", type=float, default=None,
+                          help="maximum per-block decode latency, ms")
+    optimize.add_argument("--no-storage", action="store_true")
+    optimize.add_argument("--no-network", action="store_true")
+    optimize.add_argument("--top", type=int, default=10)
+    optimize.set_defaults(func=_cmd_optimize)
+
+    fleet = sub.add_parser("fleet-report", help="fleet characterization")
+    fleet.add_argument("--days", type=int, default=30)
+    fleet.add_argument("--samples-per-day", type=int, default=200_000)
+    fleet.add_argument("--seed", type=int, default=30)
+    fleet.set_defaults(func=_cmd_fleet_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; that's a clean exit.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""From-scratch lossless compression codecs.
+
+This package implements the three compressor families the paper measures in
+Meta's fleet -- an LZ4-style byte-aligned codec, a Zstandard-style codec
+(Huffman-coded literals + FSE-coded sequences), and a DEFLATE/zlib codec --
+on top of a shared LZ77 match-finding layer and shared entropy coders.
+
+The codecs are structured exactly the way the paper describes production LZ
+compressors (Section II-B): a *match-finding stage* that emits literals and
+sequences, followed by an *entropy-encoding stage* that serializes them. Both
+stages report instrumentation counters that the performance model
+(:mod:`repro.perfmodel`) converts into modeled datacenter-core throughput.
+"""
+
+from repro.codecs.base import (
+    Compressor,
+    CodecError,
+    CorruptDataError,
+    OutputLimitExceeded,
+    StageCounters,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from repro.codecs.lz4 import LZ4Compressor
+from repro.codecs.zstd import ZstdCompressor
+from repro.codecs.deflate import GzipCompressor, ZlibCompressor
+from repro.codecs.zstd.dictionary import CompressionDictionary, train_dictionary
+
+__all__ = [
+    "Compressor",
+    "CodecError",
+    "CorruptDataError",
+    "OutputLimitExceeded",
+    "StageCounters",
+    "available_codecs",
+    "get_codec",
+    "register_codec",
+    "LZ4Compressor",
+    "ZstdCompressor",
+    "ZlibCompressor",
+    "GzipCompressor",
+    "CompressionDictionary",
+    "train_dictionary",
+]

@@ -1,0 +1,222 @@
+"""Codec interface, results, instrumentation counters, and the registry.
+
+Every codec reports *stage counters* alongside its output: how much work the
+LZ match-finding stage and the entropy stage performed. The performance model
+(:mod:`repro.perfmodel`) converts counters into modeled datacenter-core cycles
+and throughput, which is how this reproduction substitutes for wall-clock
+measurements on production hardware (see DESIGN.md section 1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, List, Optional, Type
+
+
+class CodecError(Exception):
+    """Base class for codec failures."""
+
+
+class CorruptDataError(CodecError):
+    """Raised when a compressed payload fails structural or checksum validation."""
+
+
+class OutputLimitExceeded(CodecError):
+    """Raised when decompression would exceed the caller's output budget.
+
+    The guard against decompression bombs: callers handling untrusted
+    payloads set ``max_output_bytes`` and decoding stops as soon as the
+    limit would be crossed, before the memory is committed.
+    """
+
+
+@dataclass
+class StageCounters:
+    """Operation counts for one compression or decompression call.
+
+    The counters are split by pipeline stage so the paper's match-finding
+    versus entropy-encoding attribution (Fig. 7) can be reproduced directly.
+    """
+
+    bytes_in: int = 0
+    bytes_out: int = 0
+    # -- LZ match-finding stage (compression only) --
+    positions_scanned: int = 0
+    hash_probes: int = 0
+    match_candidates: int = 0
+    match_bytes_compared: int = 0
+    sequences_emitted: int = 0
+    literals_emitted: int = 0
+    # -- entropy stage --
+    entropy_symbols: int = 0
+    entropy_bits: int = 0
+    table_builds: int = 0
+    #: work-table slots allocated (hash/chain/DP arrays) -- fixed per-call
+    #: setup cost that makes very small compressions slower (paper IV-E)
+    setup_entries: int = 0
+    # -- decode side --
+    sequences_decoded: int = 0
+    literal_bytes_copied: int = 0
+    match_bytes_copied: int = 0
+    entropy_symbols_decoded: int = 0
+
+    def merge(self, other: "StageCounters") -> None:
+        """Accumulate another counter set into this one (in place)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def copy(self) -> "StageCounters":
+        return StageCounters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+
+@dataclass
+class CompressResult:
+    """Output of one compression call."""
+
+    data: bytes
+    counters: StageCounters
+    codec: str
+    level: int
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio: original size / compressed size (higher is better)."""
+        if not self.data:
+            return 1.0
+        return self.counters.bytes_in / len(self.data)
+
+
+@dataclass
+class DecompressResult:
+    """Output of one decompression call."""
+
+    data: bytes
+    counters: StageCounters
+    codec: str
+
+
+class Compressor:
+    """Abstract lossless compressor.
+
+    Subclasses implement :meth:`_compress` and :meth:`_decompress`; this base
+    class handles argument validation and counter bookkeeping shared by all
+    codecs.
+    """
+
+    #: registry key, e.g. ``"zstd"``
+    name: str = "abstract"
+    #: inclusive level range supported by the codec
+    min_level: int = 1
+    max_level: int = 1
+    default_level: int = 1
+
+    def compress(
+        self,
+        data: bytes,
+        level: Optional[int] = None,
+        dictionary: Optional[bytes] = None,
+    ) -> CompressResult:
+        """Compress ``data`` at ``level`` (codec default when omitted).
+
+        ``dictionary`` is raw shared history prepended out-of-band; the codecs
+        that support dictionaries (zstd-style) use it to seed the match
+        window, the others raise :class:`CodecError`.
+        """
+        if level is None:
+            level = self.default_level
+        if not self.min_level <= level <= self.max_level:
+            raise CodecError(
+                f"{self.name} supports levels {self.min_level}..{self.max_level}, "
+                f"got {level}"
+            )
+        if dictionary is not None and not self.supports_dictionaries():
+            raise CodecError(f"{self.name} does not support dictionaries")
+        counters = StageCounters(bytes_in=len(data))
+        payload = self._compress(bytes(data), level, dictionary, counters)
+        counters.bytes_out = len(payload)
+        return CompressResult(payload, counters, self.name, level)
+
+    def decompress(
+        self,
+        payload: bytes,
+        dictionary: Optional[bytes] = None,
+        max_output_bytes: Optional[int] = None,
+    ) -> DecompressResult:
+        """Decompress ``payload`` produced by :meth:`compress`.
+
+        ``max_output_bytes`` bounds the decoded size for untrusted inputs;
+        exceeding it raises :class:`OutputLimitExceeded` during decoding.
+        """
+        if max_output_bytes is not None and max_output_bytes < 0:
+            raise ValueError("max_output_bytes must be non-negative")
+        counters = StageCounters(bytes_in=len(payload))
+        self._output_limit = max_output_bytes
+        try:
+            data = self._decompress(bytes(payload), dictionary, counters)
+        finally:
+            self._output_limit = None
+        if max_output_bytes is not None and len(data) > max_output_bytes:
+            raise OutputLimitExceeded(
+                f"decoded {len(data)} bytes exceeds limit {max_output_bytes}"
+            )
+        counters.bytes_out = len(data)
+        return DecompressResult(data, counters, self.name)
+
+    #: per-call output budget, set by :meth:`decompress` (None = unbounded)
+    _output_limit: Optional[int] = None
+
+    def _check_output_budget(self, produced: int) -> None:
+        """Codecs call this as output grows to fail early on bombs."""
+        if self._output_limit is not None and produced > self._output_limit:
+            raise OutputLimitExceeded(
+                f"decoded output exceeds limit {self._output_limit}"
+            )
+
+    def supports_dictionaries(self) -> bool:
+        return False
+
+    def levels(self) -> List[int]:
+        """All supported compression levels, ascending."""
+        return list(range(self.min_level, self.max_level + 1))
+
+    # -- subclass hooks ----------------------------------------------------
+    def _compress(
+        self,
+        data: bytes,
+        level: int,
+        dictionary: Optional[bytes],
+        counters: StageCounters,
+    ) -> bytes:
+        raise NotImplementedError
+
+    def _decompress(
+        self,
+        payload: bytes,
+        dictionary: Optional[bytes],
+        counters: StageCounters,
+    ) -> bytes:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Callable[[], Compressor]] = {}
+
+
+def register_codec(name: str, factory: Callable[[], Compressor]) -> None:
+    """Register a codec factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def get_codec(name: str) -> Compressor:
+    """Instantiate the codec registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise CodecError(
+            f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_codecs() -> List[str]:
+    """Names of all registered codecs, sorted."""
+    return sorted(_REGISTRY)

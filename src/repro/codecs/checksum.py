@@ -1,0 +1,187 @@
+"""Checksums used by the codec frame formats, implemented from scratch.
+
+- XXH32 / XXH64: the non-cryptographic hashes used by LZ4 and Zstandard
+  frames (and by dictionary identifiers).
+- Adler-32: the zlib container checksum.
+- CRC-32: the gzip container checksum (also used for SST block footers).
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+_XXH_PRIME1 = 0x9E3779B1
+_XXH_PRIME2 = 0x85EBCA77
+_XXH_PRIME3 = 0xC2B2AE3D
+_XXH_PRIME4 = 0x27D4EB2F
+_XXH_PRIME5 = 0x165667B1
+
+
+def _rotl32(value: int, count: int) -> int:
+    value &= _MASK32
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _xxh_round(acc: int, lane: int) -> int:
+    acc = (acc + lane * _XXH_PRIME2) & _MASK32
+    return (_rotl32(acc, 13) * _XXH_PRIME1) & _MASK32
+
+
+def xxh32(data: bytes, seed: int = 0) -> int:
+    """XXH32 digest of ``data`` with the given seed."""
+    length = len(data)
+    pos = 0
+    if length >= 16:
+        acc1 = (seed + _XXH_PRIME1 + _XXH_PRIME2) & _MASK32
+        acc2 = (seed + _XXH_PRIME2) & _MASK32
+        acc3 = seed & _MASK32
+        acc4 = (seed - _XXH_PRIME1) & _MASK32
+        limit = length - 16
+        while pos <= limit:
+            acc1 = _xxh_round(acc1, int.from_bytes(data[pos : pos + 4], "little"))
+            acc2 = _xxh_round(acc2, int.from_bytes(data[pos + 4 : pos + 8], "little"))
+            acc3 = _xxh_round(acc3, int.from_bytes(data[pos + 8 : pos + 12], "little"))
+            acc4 = _xxh_round(acc4, int.from_bytes(data[pos + 12 : pos + 16], "little"))
+            pos += 16
+        acc = (
+            _rotl32(acc1, 1) + _rotl32(acc2, 7) + _rotl32(acc3, 12) + _rotl32(acc4, 18)
+        ) & _MASK32
+    else:
+        acc = (seed + _XXH_PRIME5) & _MASK32
+
+    acc = (acc + length) & _MASK32
+    while pos + 4 <= length:
+        lane = int.from_bytes(data[pos : pos + 4], "little")
+        acc = (acc + lane * _XXH_PRIME3) & _MASK32
+        acc = (_rotl32(acc, 17) * _XXH_PRIME4) & _MASK32
+        pos += 4
+    while pos < length:
+        acc = (acc + data[pos] * _XXH_PRIME5) & _MASK32
+        acc = (_rotl32(acc, 11) * _XXH_PRIME1) & _MASK32
+        pos += 1
+
+    acc ^= acc >> 15
+    acc = (acc * _XXH_PRIME2) & _MASK32
+    acc ^= acc >> 13
+    acc = (acc * _XXH_PRIME3) & _MASK32
+    acc ^= acc >> 16
+    return acc
+
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_XXH64_PRIME1 = 0x9E3779B185EBCA87
+_XXH64_PRIME2 = 0xC2B2AE3D27D4EB4F
+_XXH64_PRIME3 = 0x165667B19E3779F9
+_XXH64_PRIME4 = 0x85EBCA77C2B2AE63
+_XXH64_PRIME5 = 0x27D4EB2F165667C5
+
+
+def _rotl64(value: int, count: int) -> int:
+    value &= _MASK64
+    return ((value << count) | (value >> (64 - count))) & _MASK64
+
+
+def _xxh64_round(acc: int, lane: int) -> int:
+    acc = (acc + lane * _XXH64_PRIME2) & _MASK64
+    return (_rotl64(acc, 31) * _XXH64_PRIME1) & _MASK64
+
+
+def _xxh64_merge(acc: int, value: int) -> int:
+    acc ^= _xxh64_round(0, value)
+    return (acc * _XXH64_PRIME1 + _XXH64_PRIME4) & _MASK64
+
+
+def xxh64(data: bytes, seed: int = 0) -> int:
+    """XXH64 digest of ``data`` with the given seed."""
+    length = len(data)
+    pos = 0
+    if length >= 32:
+        acc1 = (seed + _XXH64_PRIME1 + _XXH64_PRIME2) & _MASK64
+        acc2 = (seed + _XXH64_PRIME2) & _MASK64
+        acc3 = seed & _MASK64
+        acc4 = (seed - _XXH64_PRIME1) & _MASK64
+        limit = length - 32
+        while pos <= limit:
+            acc1 = _xxh64_round(acc1, int.from_bytes(data[pos : pos + 8], "little"))
+            acc2 = _xxh64_round(acc2, int.from_bytes(data[pos + 8 : pos + 16], "little"))
+            acc3 = _xxh64_round(acc3, int.from_bytes(data[pos + 16 : pos + 24], "little"))
+            acc4 = _xxh64_round(acc4, int.from_bytes(data[pos + 24 : pos + 32], "little"))
+            pos += 32
+        acc = (
+            _rotl64(acc1, 1) + _rotl64(acc2, 7) + _rotl64(acc3, 12) + _rotl64(acc4, 18)
+        ) & _MASK64
+        for lane_acc in (acc1, acc2, acc3, acc4):
+            acc = _xxh64_merge(acc, lane_acc)
+    else:
+        acc = (seed + _XXH64_PRIME5) & _MASK64
+
+    acc = (acc + length) & _MASK64
+    while pos + 8 <= length:
+        lane = int.from_bytes(data[pos : pos + 8], "little")
+        acc ^= _xxh64_round(0, lane)
+        acc = (_rotl64(acc, 27) * _XXH64_PRIME1 + _XXH64_PRIME4) & _MASK64
+        pos += 8
+    if pos + 4 <= length:
+        lane = int.from_bytes(data[pos : pos + 4], "little")
+        acc ^= (lane * _XXH64_PRIME1) & _MASK64
+        acc = (_rotl64(acc, 23) * _XXH64_PRIME2 + _XXH64_PRIME3) & _MASK64
+        pos += 4
+    while pos < length:
+        acc ^= (data[pos] * _XXH64_PRIME5) & _MASK64
+        acc = (_rotl64(acc, 11) * _XXH64_PRIME1) & _MASK64
+        pos += 1
+
+    acc ^= acc >> 33
+    acc = (acc * _XXH64_PRIME2) & _MASK64
+    acc ^= acc >> 29
+    acc = (acc * _XXH64_PRIME3) & _MASK64
+    acc ^= acc >> 32
+    return acc
+
+
+_ADLER_MOD = 65521
+
+
+def adler32(data: bytes, value: int = 1) -> int:
+    """Adler-32 checksum, continuing from ``value`` (1 for a fresh stream)."""
+    low = value & 0xFFFF
+    high = (value >> 16) & 0xFFFF
+    # Process in chunks small enough that the sums stay bounded between
+    # modulo reductions (the classic 5552-byte block trick).
+    pos = 0
+    length = len(data)
+    while pos < length:
+        chunk = data[pos : pos + 5552]
+        for byte in chunk:
+            low += byte
+            high += low
+        low %= _ADLER_MOD
+        high %= _ADLER_MOD
+        pos += 5552
+    return (high << 16) | low
+
+
+def _build_crc32_table() -> tuple:
+    table = []
+    for i in range(256):
+        crc = i
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0xEDB88320
+            else:
+                crc >>= 1
+        table.append(crc)
+    return tuple(table)
+
+
+_CRC32_TABLE = _build_crc32_table()
+
+
+def crc32(data: bytes, value: int = 0) -> int:
+    """CRC-32 (IEEE 802.3 polynomial), continuing from ``value``."""
+    crc = value ^ _MASK32
+    table = _CRC32_TABLE
+    for byte in data:
+        crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF]
+    return crc ^ _MASK32

@@ -1,0 +1,110 @@
+"""DEFLATE decoder (inflate), RFC 1951."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.codecs.base import CorruptDataError, StageCounters
+from repro.codecs.entropy.bitio import BitReader
+from repro.codecs.entropy.huffman import HuffmanDecoder
+from repro.codecs.lz77 import copy_match
+from repro.codecs.deflate import tables as dtables
+
+
+def _read_dynamic_tables(reader: BitReader) -> Tuple[HuffmanDecoder, HuffmanDecoder]:
+    hlit = reader.read(5) + 257
+    hdist = reader.read(5) + 1
+    hclen = reader.read(4) + 4
+    cl_lengths = [0] * 19
+    for order_index in range(hclen):
+        cl_lengths[dtables.CODE_LENGTH_ORDER[order_index]] = reader.read(3)
+    cl_decoder = HuffmanDecoder(cl_lengths)
+
+    lengths: List[int] = []
+    while len(lengths) < hlit + hdist:
+        symbol = cl_decoder.decode_symbol(reader)
+        if symbol < 16:
+            lengths.append(symbol)
+        elif symbol == 16:
+            if not lengths:
+                raise CorruptDataError("repeat code with no previous length")
+            repeat = reader.read(2) + 3
+            lengths.extend([lengths[-1]] * repeat)
+        elif symbol == 17:
+            repeat = reader.read(3) + 3
+            lengths.extend([0] * repeat)
+        else:
+            repeat = reader.read(7) + 11
+            lengths.extend([0] * repeat)
+    if len(lengths) != hlit + hdist:
+        raise CorruptDataError("code length RLE overflows the table")
+    lit_lengths = lengths[:hlit] + [0] * (286 - hlit)
+    dist_lengths = lengths[hlit:] + [0] * (30 - hdist)
+    return HuffmanDecoder(lit_lengths), HuffmanDecoder(dist_lengths)
+
+
+def decode_stream(
+    payload: bytes, counters: StageCounters, budget_check=None
+) -> bytes:
+    """Inflate a complete DEFLATE stream.
+
+    ``budget_check``, when given, is called with the output size after each
+    stored block or back-reference copy; it raises to abort oversized
+    (bomb-like) expansions early.
+    """
+    reader = BitReader(payload)
+    out = bytearray()
+    fixed_lit: HuffmanDecoder = None  # built lazily
+    fixed_dist: HuffmanDecoder = None
+    try:
+        while True:
+            is_final = reader.read(1)
+            btype = reader.read(2)
+            if btype == 0:
+                reader.align_to_byte()
+                size_bytes = reader.read_bytes(2)
+                nsize_bytes = reader.read_bytes(2)
+                size = int.from_bytes(size_bytes, "little")
+                if size ^ 0xFFFF != int.from_bytes(nsize_bytes, "little"):
+                    raise CorruptDataError("stored block LEN/NLEN mismatch")
+                out.extend(reader.read_bytes(size))
+                counters.literal_bytes_copied += size
+                if budget_check is not None:
+                    budget_check(len(out))
+            elif btype in (1, 2):
+                if btype == 1:
+                    if fixed_lit is None:
+                        fixed_lit = HuffmanDecoder(dtables.fixed_literal_lengths())
+                        fixed_dist = HuffmanDecoder(dtables.fixed_distance_lengths())
+                    lit_decoder, dist_decoder = fixed_lit, fixed_dist
+                else:
+                    lit_decoder, dist_decoder = _read_dynamic_tables(reader)
+                while True:
+                    symbol = lit_decoder.decode_symbol(reader)
+                    counters.entropy_symbols_decoded += 1
+                    if symbol < 256:
+                        out.append(symbol)
+                        counters.literal_bytes_copied += 1
+                    elif symbol == dtables.END_OF_BLOCK:
+                        break
+                    else:
+                        if symbol > 285:
+                            raise CorruptDataError(f"invalid length code {symbol}")
+                        base, bits = dtables.LENGTH_TABLE[symbol - 257]
+                        length = base + (reader.read(bits) if bits else 0)
+                        dcode = dist_decoder.decode_symbol(reader)
+                        if dcode > 29:
+                            raise CorruptDataError(f"invalid distance code {dcode}")
+                        dbase, dbits = dtables.DISTANCE_TABLE[dcode]
+                        distance = dbase + (reader.read(dbits) if dbits else 0)
+                        copy_match(out, distance, length)
+                        counters.match_bytes_copied += length
+                        counters.sequences_decoded += 1
+                        if budget_check is not None:
+                            budget_check(len(out))
+            else:
+                raise CorruptDataError("reserved block type 3")
+            if is_final:
+                return bytes(out)
+    except (EOFError, ValueError) as exc:
+        raise CorruptDataError(f"bad DEFLATE stream: {exc}") from None

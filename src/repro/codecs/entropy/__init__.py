@@ -1,0 +1,26 @@
+"""Entropy-coding primitives shared by the codecs.
+
+The paper attributes the compression-ratio / decompression-speed trade-off to
+the entropy stage (Section II-B): LZ4 skips entropy coding entirely, DEFLATE
+uses Huffman codes, and Zstandard uses Huffman for literals plus Finite State
+Entropy (tANS) for sequence codes. All three schemes are implemented here.
+"""
+
+from repro.codecs.entropy.bitio import BitReader, BitWriter
+from repro.codecs.entropy.huffman import (
+    HuffmanDecoder,
+    HuffmanEncoder,
+    build_code_lengths,
+)
+from repro.codecs.entropy.fse import FSEDecoder, FSEEncoder, normalize_counts
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "HuffmanEncoder",
+    "HuffmanDecoder",
+    "build_code_lengths",
+    "FSEEncoder",
+    "FSEDecoder",
+    "normalize_counts",
+]

@@ -1,0 +1,131 @@
+"""LSB-first bit-level reader and writer.
+
+Both DEFLATE and FSE consume bits least-significant-bit first within each
+byte, so a single pair of primitives serves every entropy coder in the
+package. The writer accumulates into a Python int (cheap arbitrary-precision
+shifting) and flushes whole bytes eagerly to keep the accumulator small.
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bit fields LSB-first and renders them to bytes."""
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def write(self, value: int, num_bits: int) -> None:
+        """Append the low ``num_bits`` bits of ``value``."""
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
+        if num_bits == 0:
+            return
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        self._accumulator |= (value & ((1 << num_bits) - 1)) << self._bit_count
+        self._bit_count += num_bits
+        while self._bit_count >= 8:
+            self._buffer.append(self._accumulator & 0xFF)
+            self._accumulator >>= 8
+            self._bit_count -= 8
+
+    def align_to_byte(self) -> None:
+        """Pad with zero bits up to the next byte boundary."""
+        if self._bit_count:
+            self._buffer.append(self._accumulator & 0xFF)
+            self._accumulator = 0
+            self._bit_count = 0
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append whole bytes; the stream must be byte-aligned."""
+        if self._bit_count:
+            raise ValueError("stream is not byte-aligned")
+        self._buffer.extend(data)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return len(self._buffer) * 8 + self._bit_count
+
+    def getvalue(self) -> bytes:
+        """Return the byte rendering, zero-padding any trailing partial byte."""
+        out = bytearray(self._buffer)
+        if self._bit_count:
+            out.append(self._accumulator & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """Reads bit fields LSB-first from a byte string."""
+
+    def __init__(self, data: bytes, start: int = 0) -> None:
+        self._data = data
+        self._byte_pos = start
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def read(self, num_bits: int) -> int:
+        """Read ``num_bits`` bits; raises ``EOFError`` past end of data."""
+        if num_bits < 0:
+            raise ValueError("num_bits must be non-negative")
+        while self._bit_count < num_bits:
+            if self._byte_pos >= len(self._data):
+                raise EOFError("bit stream exhausted")
+            self._accumulator |= self._data[self._byte_pos] << self._bit_count
+            self._byte_pos += 1
+            self._bit_count += 8
+        value = self._accumulator & ((1 << num_bits) - 1)
+        self._accumulator >>= num_bits
+        self._bit_count -= num_bits
+        return value
+
+    def peek(self, num_bits: int) -> int:
+        """Return the next ``num_bits`` bits without consuming them.
+
+        Past end-of-stream the missing bits read as zero, which is what
+        table-driven Huffman decoding needs for its final symbols.
+        """
+        while self._bit_count < num_bits and self._byte_pos < len(self._data):
+            self._accumulator |= self._data[self._byte_pos] << self._bit_count
+            self._byte_pos += 1
+            self._bit_count += 8
+        return self._accumulator & ((1 << num_bits) - 1)
+
+    def skip(self, num_bits: int) -> None:
+        """Consume ``num_bits`` previously peeked bits."""
+        if num_bits > self._bit_count:
+            raise EOFError("cannot skip past available bits")
+        self._accumulator >>= num_bits
+        self._bit_count -= num_bits
+
+    def align_to_byte(self) -> None:
+        """Drop bits up to the next byte boundary."""
+        drop = self._bit_count % 8
+        self._accumulator >>= drop
+        self._bit_count -= drop
+
+    def read_bytes(self, count: int) -> bytes:
+        """Read whole bytes; the stream must be byte-aligned."""
+        if self._bit_count % 8:
+            raise ValueError("stream is not byte-aligned")
+        # Serve buffered whole bytes first.
+        out = bytearray()
+        while self._bit_count and count:
+            out.append(self._accumulator & 0xFF)
+            self._accumulator >>= 8
+            self._bit_count -= 8
+            count -= 1
+        if count:
+            if self._byte_pos + count > len(self._data):
+                raise EOFError("byte stream exhausted")
+            out.extend(self._data[self._byte_pos : self._byte_pos + count])
+            self._byte_pos += count
+        return bytes(out)
+
+    @property
+    def bits_remaining(self) -> int:
+        """Bits left in the stream (buffered plus unread bytes)."""
+        return self._bit_count + 8 * (len(self._data) - self._byte_pos)

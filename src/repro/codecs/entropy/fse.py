@@ -1,0 +1,195 @@
+"""Finite State Entropy (tANS) coding.
+
+This is the entropy scheme Zstandard uses for its sequence codes. A table of
+``2**table_log`` states is partitioned among symbols in proportion to their
+normalized frequencies; encoding walks the state machine backwards emitting a
+variable number of bits per symbol, decoding walks it forwards.
+
+The implementation follows the textbook tANS construction: the decoding table
+is built first (symbol spread + per-state transition), and the encoder is its
+exact inverse, so round-trip correctness holds by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.codecs.entropy.bitio import BitReader, BitWriter
+
+
+def normalize_counts(counts: Sequence[int], table_log: int) -> List[int]:
+    """Scale a histogram so it sums to ``2**table_log``.
+
+    Every symbol with a non-zero raw count keeps a normalized count of at
+    least 1 (it must own at least one state). Uses largest-remainder
+    apportionment, stealing from the most frequent symbols when low-frequency
+    symbols get bumped up to 1.
+    """
+    table_size = 1 << table_log
+    total = sum(counts)
+    if total <= 0:
+        raise ValueError("histogram is empty")
+    present = sum(1 for c in counts if c > 0)
+    if present > table_size:
+        raise ValueError(
+            f"{present} symbols cannot share {table_size} states"
+        )
+
+    normalized = [0] * len(counts)
+    remainders: List[Tuple[float, int]] = []
+    assigned = 0
+    for symbol, count in enumerate(counts):
+        if count <= 0:
+            continue
+        exact = count * table_size / total
+        floor_value = max(1, int(exact))
+        normalized[symbol] = floor_value
+        assigned += floor_value
+        remainders.append((exact - floor_value, symbol))
+
+    # Distribute any shortfall to the largest remainders; recover any excess
+    # from the symbols holding the most states.
+    remainders.sort(reverse=True)
+    index = 0
+    while assigned < table_size:
+        __, symbol = remainders[index % len(remainders)]
+        normalized[symbol] += 1
+        assigned += 1
+        index += 1
+    while assigned > table_size:
+        richest = max(
+            (s for s, n in enumerate(normalized) if n > 1),
+            key=lambda s: normalized[s],
+        )
+        normalized[richest] -= 1
+        assigned -= 1
+    return normalized
+
+
+def _spread_symbols(normalized: Sequence[int], table_log: int) -> List[int]:
+    """Scatter symbols across the state table (Zstandard's spread step)."""
+    table_size = 1 << table_log
+    mask = table_size - 1
+    step = (table_size >> 1) + (table_size >> 3) + 3
+    spread = [-1] * table_size
+    position = 0
+    for symbol, count in enumerate(normalized):
+        for _ in range(count):
+            spread[position] = symbol
+            position = (position + step) & mask
+    if any(slot < 0 for slot in spread):
+        raise AssertionError("symbol spread left unassigned states")
+    return spread
+
+
+class _DecodeEntry:
+    __slots__ = ("symbol", "num_bits", "new_state_base")
+
+    def __init__(self, symbol: int, num_bits: int, new_state_base: int) -> None:
+        self.symbol = symbol
+        self.num_bits = num_bits
+        self.new_state_base = new_state_base
+
+
+def _build_decode_table(
+    normalized: Sequence[int], table_log: int
+) -> List[_DecodeEntry]:
+    table_size = 1 << table_log
+    spread = _spread_symbols(normalized, table_log)
+    symbol_next = list(normalized)
+    table: List[_DecodeEntry] = [None] * table_size  # type: ignore[list-item]
+    for state_index in range(table_size):
+        symbol = spread[state_index]
+        x = symbol_next[symbol]
+        symbol_next[symbol] += 1
+        num_bits = table_log - (x.bit_length() - 1)
+        new_state_base = (x << num_bits) - table_size
+        table[state_index] = _DecodeEntry(symbol, num_bits, new_state_base)
+    return table
+
+
+class FSEEncoder:
+    """tANS encoder for one normalized symbol distribution."""
+
+    def __init__(self, normalized: Sequence[int], table_log: int) -> None:
+        if sum(normalized) != (1 << table_log):
+            raise ValueError("normalized counts must sum to the table size")
+        self.table_log = table_log
+        self.normalized = list(normalized)
+        table_size = 1 << table_log
+        spread = _spread_symbols(normalized, table_log)
+        # state_lists[s][j] = table index of the j-th state owned by symbol s
+        # (scanned in increasing index order, matching the decoder's counter).
+        self._state_lists: List[List[int]] = [[] for _ in normalized]
+        for index in range(table_size):
+            self._state_lists[spread[index]].append(index)
+
+    def encode(self, symbols: Sequence[int], writer: BitWriter) -> int:
+        """Encode ``symbols`` so a forward-reading decoder recovers them.
+
+        Returns the number of payload bits written (including the initial
+        state). The encoder walks the sequence backwards, as tANS requires.
+        """
+        table_size = 1 << self.table_log
+        state = table_size  # full state in [table_size, 2*table_size)
+        emitted: List[Tuple[int, int]] = []
+        for symbol in reversed(symbols):
+            occupancy = self.normalized[symbol]
+            if occupancy == 0:
+                raise ValueError(f"symbol {symbol} has zero probability")
+            quotient = state // occupancy
+            num_bits = quotient.bit_length() - 1
+            emitted.append((state & ((1 << num_bits) - 1), num_bits))
+            x = state >> num_bits  # in [occupancy, 2*occupancy)
+            table_index = self._state_lists[symbol][x - occupancy]
+            state = table_size + table_index
+        start_bits = writer.bit_length
+        writer.write(state - table_size, self.table_log)
+        for value, num_bits in reversed(emitted):
+            writer.write(value, num_bits)
+        return writer.bit_length - start_bits
+
+    def cost_in_bits(self, symbols: Sequence[int]) -> int:
+        """Exact coded size (in bits) without producing output."""
+        table_size = 1 << self.table_log
+        state = table_size
+        total = self.table_log
+        for symbol in reversed(symbols):
+            occupancy = self.normalized[symbol]
+            quotient = state // occupancy
+            num_bits = quotient.bit_length() - 1
+            total += num_bits
+            x = state >> num_bits
+            state = table_size + self._state_lists[symbol][x - occupancy]
+        return total
+
+
+class FSEDecoder:
+    """tANS decoder matching :class:`FSEEncoder`."""
+
+    def __init__(self, normalized: Sequence[int], table_log: int) -> None:
+        if sum(normalized) != (1 << table_log):
+            raise ValueError("normalized counts must sum to the table size")
+        self.table_log = table_log
+        self._table = _build_decode_table(normalized, table_log)
+        self._state = 0
+
+    def begin(self, reader: BitReader) -> None:
+        """Read the initial state from the stream."""
+        self._state = reader.read(self.table_log)
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        """Decode one symbol and advance the state machine."""
+        entry = self._table[self._state]
+        bits = reader.read(entry.num_bits) if entry.num_bits else 0
+        self._state = entry.new_state_base + bits
+        return entry.symbol
+
+    def peek_symbol(self) -> int:
+        """Return the symbol at the current state without consuming bits."""
+        return self._table[self._state].symbol
+
+    def decode(self, count: int, reader: BitReader) -> List[int]:
+        """Decode ``count`` symbols (the stream must be positioned at init)."""
+        self.begin(reader)
+        return [self.decode_symbol(reader) for _ in range(count)]

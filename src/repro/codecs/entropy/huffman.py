@@ -1,0 +1,149 @@
+"""Canonical, length-limited Huffman coding.
+
+Code lengths are computed with the package-merge algorithm, which yields
+optimal codes under a maximum-length constraint (DEFLATE caps lengths at 15
+bits; the Zstandard-style literal coder caps them at 11). Codes are canonical
+-- fully determined by their lengths -- so only the length table needs to be
+serialized. Codewords are stored bit-reversed so that both encoder and
+decoder operate on the shared LSB-first bit stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.codecs.entropy.bitio import BitReader, BitWriter
+
+
+def _reverse_bits(value: int, width: int) -> int:
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def build_code_lengths(frequencies: Sequence[int], max_bits: int) -> List[int]:
+    """Return optimal length-limited code lengths via package-merge.
+
+    ``frequencies[i]`` is the occurrence count of symbol ``i``; symbols with
+    zero frequency get length 0 (no code). Raises ``ValueError`` when the
+    alphabet cannot fit in ``max_bits`` bits.
+    """
+    symbols = [i for i, f in enumerate(frequencies) if f > 0]
+    lengths = [0] * len(frequencies)
+    if not symbols:
+        return lengths
+    if len(symbols) == 1:
+        lengths[symbols[0]] = 1
+        return lengths
+    if len(symbols) > (1 << max_bits):
+        raise ValueError(
+            f"{len(symbols)} symbols cannot be coded in {max_bits} bits"
+        )
+
+    # Package-merge: list L_max holds the original items; each of the
+    # max_bits-1 packaging rounds pairs up adjacent items and merges the
+    # originals back in. The first 2*(n-1) items of the final list L_1
+    # determine code lengths (each appearance of a symbol adds one bit).
+    originals = sorted((frequencies[s], (s,)) for s in symbols)
+    packages: List[Tuple[int, Tuple[int, ...]]] = []
+    for _ in range(max_bits - 1):
+        merged = sorted(packages + originals)
+        packages = [
+            (
+                merged[i][0] + merged[i + 1][0],
+                merged[i][1] + merged[i + 1][1],
+            )
+            for i in range(0, len(merged) - 1, 2)
+        ]
+    counts: Dict[int, int] = {}
+    needed = 2 * (len(symbols) - 1)
+    merged = sorted(packages + originals)
+    for weight, syms in merged[:needed]:
+        for sym in syms:
+            counts[sym] = counts.get(sym, 0) + 1
+    for sym, length in counts.items():
+        lengths[sym] = length
+    return lengths
+
+
+def canonical_codes(lengths: Sequence[int]) -> List[int]:
+    """Assign canonical codewords (bit-reversed for LSB-first streams)."""
+    max_len = max(lengths) if lengths else 0
+    length_counts = [0] * (max_len + 1)
+    for length in lengths:
+        if length:
+            length_counts[length] += 1
+    next_code = [0] * (max_len + 2)
+    code = 0
+    for bits in range(1, max_len + 1):
+        code = (code + length_counts[bits - 1]) << 1
+        next_code[bits] = code
+    codes = [0] * len(lengths)
+    for symbol, length in enumerate(lengths):
+        if length:
+            codes[symbol] = _reverse_bits(next_code[length], length)
+            next_code[length] += 1
+    return codes
+
+
+class HuffmanEncoder:
+    """Encodes symbols with a canonical Huffman code."""
+
+    def __init__(self, lengths: Sequence[int]) -> None:
+        self.lengths = list(lengths)
+        self.codes = canonical_codes(lengths)
+
+    @classmethod
+    def from_frequencies(
+        cls, frequencies: Sequence[int], max_bits: int = 15
+    ) -> "HuffmanEncoder":
+        return cls(build_code_lengths(frequencies, max_bits))
+
+    def encode_symbol(self, writer: BitWriter, symbol: int) -> None:
+        length = self.lengths[symbol]
+        if not length:
+            raise ValueError(f"symbol {symbol} has no code")
+        writer.write(self.codes[symbol], length)
+
+    def encoded_bit_length(self, frequencies: Sequence[int]) -> int:
+        """Total bits needed to code a message with the given histogram."""
+        return sum(
+            freq * self.lengths[sym]
+            for sym, freq in enumerate(frequencies)
+            if freq
+        )
+
+
+class HuffmanDecoder:
+    """Table-driven decoder for a canonical Huffman code."""
+
+    def __init__(self, lengths: Sequence[int]) -> None:
+        self.lengths = list(lengths)
+        self.max_length = max(lengths) if any(lengths) else 0
+        if self.max_length == 0:
+            self._table: List[Tuple[int, int]] = []
+            return
+        codes = canonical_codes(lengths)
+        table_size = 1 << self.max_length
+        table: List[Tuple[int, int]] = [(-1, 0)] * table_size
+        for symbol, length in enumerate(lengths):
+            if not length:
+                continue
+            code = codes[symbol]
+            # Fill every table slot whose low `length` bits match the code.
+            step = 1 << length
+            for slot in range(code, table_size, step):
+                table[slot] = (symbol, length)
+        self._table = table
+
+    def decode_symbol(self, reader: BitReader) -> int:
+        if self.max_length == 0:
+            raise ValueError("decoder has an empty alphabet")
+        window = reader.peek(self.max_length)
+        symbol, length = self._table[window]
+        if symbol < 0:
+            raise ValueError("invalid Huffman code in stream")
+        reader.skip(length)
+        return symbol

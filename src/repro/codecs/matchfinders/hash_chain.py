@@ -1,0 +1,121 @@
+"""Hash-chain match finder with greedy, lazy, and two-step-lazy parsing."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.codecs.base import StageCounters
+from repro.codecs.lz77 import Token, match_length
+from repro.codecs.matchfinders.base import (
+    MatchFinder,
+    MatchFinderParams,
+    hash_positions,
+)
+
+
+class HashChainMatchFinder(MatchFinder):
+    """Chains every position per hash bucket; probes up to ``search_depth``.
+
+    Lazy evaluation (``lazy_steps`` = 1 or 2) defers a found match to check
+    whether starting one or two bytes later yields a longer one -- the
+    mid-level strategies of zlib and Zstandard.
+    """
+
+    def parse(
+        self,
+        data: bytes,
+        start: int,
+        params: MatchFinderParams,
+        counters: Optional[StageCounters] = None,
+    ) -> List[Token]:
+        counters = counters if counters is not None else StageCounters()
+        n = len(data)
+        min_match = params.min_match
+        hash_bytes = min(4, min_match)
+        hashes = hash_positions(data, params.hash_log, hash_bytes)
+        head = [-1] * (1 << params.hash_log)
+        prev = [-1] * n
+        counters.setup_entries += len(head) + n
+        max_offset = params.effective_max_offset()
+        max_match = params.max_match
+        target = params.target_length
+        depth = params.search_depth
+        last_hashable = len(hashes)
+
+        # Positions [0, inserted) are indexed in the chains. History bytes
+        # before `start` are indexed too so matches can reach a dictionary.
+        inserted = 0
+
+        def ensure_inserted(upto: int) -> None:
+            nonlocal inserted
+            stop = min(upto, last_hashable)
+            while inserted < stop:
+                h = hashes[inserted]
+                prev[inserted] = head[h]
+                head[h] = inserted
+                inserted += 1
+
+        def best_match(pos: int) -> Tuple[int, int]:
+            """Return (length, offset) of the best chain match at ``pos``."""
+            counters.positions_scanned += 1
+            counters.hash_probes += 1
+            limit = min(n - pos, max_match)
+            if limit < min_match:
+                return 0, 0
+            best_len = min_match - 1
+            best_off = 0
+            candidate = head[hashes[pos]]
+            probes = depth
+            lowest = pos - max_offset
+            while candidate >= 0 and candidate >= lowest and probes > 0:
+                probes -= 1
+                counters.match_candidates += 1
+                # Quick rejection: check the byte just past the current best.
+                if (
+                    best_len < limit
+                    and data[candidate + best_len] == data[pos + best_len]
+                ):
+                    length = match_length(data, candidate, pos, limit)
+                    counters.match_bytes_compared += length + 1
+                    if length > best_len:
+                        best_len = length
+                        best_off = pos - candidate
+                        if length >= target or length >= limit:
+                            break
+                candidate = prev[candidate]
+            if best_len < min_match:
+                return 0, 0
+            return best_len, best_off
+
+        tokens: List[Token] = []
+        anchor = start
+        i = start
+        while i + min_match <= n and i < last_hashable:
+            ensure_inserted(i)
+            length, offset = best_match(i)
+            if not length:
+                i += 1
+                continue
+            # Lazy evaluation: peek ahead up to lazy_steps positions.
+            steps = 0
+            while (
+                steps < params.lazy_steps
+                and i + 1 + min_match <= n
+                and i + 1 < last_hashable
+            ):
+                ensure_inserted(i + 1)
+                next_length, next_offset = best_match(i + 1)
+                if next_length > length:
+                    i += 1
+                    length, offset = next_length, next_offset
+                    steps += 1
+                else:
+                    break
+            literal_run = i - anchor
+            tokens.append(Token(literal_run, length, offset))
+            counters.sequences_emitted += 1
+            counters.literals_emitted += literal_run
+            ensure_inserted(i + length)
+            i += length
+            anchor = i
+        return self._finish(tokens, anchor, n)

@@ -1,0 +1,174 @@
+"""Dynamic-programming ("optimal") parser for high compression levels.
+
+Finds a near-minimal-cost parse under an estimated bit-price model, the
+btopt-style strategy the paper describes as "slow dynamic programming
+algorithms which attempt to find the optimal encoding". Match candidates come
+from full hash chains; transitions are evaluated at match-length price-bucket
+boundaries, which preserves optimality within the piecewise-constant price
+model while keeping the scan near-linear.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional
+
+from repro.codecs.base import StageCounters
+from repro.codecs.lz77 import Token, match_length
+from repro.codecs.matchfinders.base import (
+    MatchFinder,
+    MatchFinderParams,
+    hash_positions,
+)
+
+_INFINITY = float("inf")
+
+
+def literal_price() -> int:
+    """Estimated cost of one literal byte, in bits (entropy-coded)."""
+    return 6
+
+
+def match_price(length: int, offset: int) -> int:
+    """Estimated cost of a match, in bits.
+
+    Offset costs its log2 (FSE code + extra bits); length costs a small code
+    plus log2-scaled extra bits; 4 bits of fixed sequence overhead.
+    """
+    return 4 + offset.bit_length() + 4 + max(0, (length - 3).bit_length() - 3)
+
+
+@lru_cache(maxsize=4096)
+def _length_breakpoints(min_len: int, max_len: int) -> List[int]:
+    """Lengths worth evaluating: bucket boundaries of the length price."""
+    lengths = {max_len, min_len}
+    # Price changes when (length - 3).bit_length() crosses a power of two.
+    boundary = 8
+    while boundary <= max_len:
+        if boundary >= min_len:
+            lengths.add(boundary)
+        if boundary + 3 <= max_len and boundary + 3 >= min_len:
+            lengths.add(boundary + 3)
+        boundary <<= 1
+    return sorted(lengths)
+
+
+class OptimalMatchFinder(MatchFinder):
+    """Shortest-path parse over the block under the bit-price model."""
+
+    def parse(
+        self,
+        data: bytes,
+        start: int,
+        params: MatchFinderParams,
+        counters: Optional[StageCounters] = None,
+    ) -> List[Token]:
+        counters = counters if counters is not None else StageCounters()
+        n = len(data)
+        min_match = params.min_match
+        hash_bytes = min(4, min_match)
+        hashes = hash_positions(data, params.hash_log, hash_bytes)
+        head = [-1] * (1 << params.hash_log)
+        prev = [-1] * n
+        counters.setup_entries += len(head) + 3 * n  # chains + DP arrays
+        max_offset = params.effective_max_offset()
+        max_match = params.max_match
+        depth = params.search_depth
+        last_hashable = len(hashes)
+
+        # Index history so matches can reach a dictionary prefix.
+        for pos in range(min(start, last_hashable)):
+            h = hashes[pos]
+            prev[pos] = head[h]
+            head[h] = pos
+
+        size = n - start
+        cost = [_INFINITY] * (size + 1)
+        cost[0] = 0.0
+        # parent[j] = (previous_index, match_length, offset); match_length 0
+        # encodes a literal step.
+        parent: List[Optional[tuple]] = [None] * (size + 1)
+        lit_price = literal_price()
+
+        # Past a match this long we stop searching until the match ends --
+        # the "sufficient length" shortcut of btopt-style parsers, without
+        # which RLE-like data degenerates to quadratic scanning.
+        sufficient = 512
+        search_resume = start
+
+        for i in range(start, n):
+            j = i - start
+            here = cost[j]
+            if here == _INFINITY:
+                continue
+            # Literal transition.
+            if here + lit_price < cost[j + 1]:
+                cost[j + 1] = here + lit_price
+                parent[j + 1] = (j, 0, 0)
+            if i + min_match > n or i >= last_hashable:
+                continue
+            if i < search_resume:
+                # Still inside a sufficiently long match: index, don't search.
+                h = hashes[i]
+                prev[i] = head[h]
+                head[h] = i
+                continue
+            counters.positions_scanned += 1
+            counters.hash_probes += 1
+            candidate = head[hashes[i]]
+            lowest = i - max_offset
+            probes = depth
+            best_seen = min_match - 1
+            while candidate >= 0 and candidate >= lowest and probes > 0:
+                probes -= 1
+                counters.match_candidates += 1
+                limit = min(n - i, max_match)
+                if (
+                    best_seen < limit
+                    and data[candidate + best_seen] == data[i + best_seen]
+                ):
+                    length = match_length(data, candidate, i, limit)
+                    counters.match_bytes_compared += length + 1
+                    if length >= min_match:
+                        if length > best_seen:
+                            best_seen = length
+                        offset = i - candidate
+                        for ml in _length_breakpoints(min_match, length):
+                            arrival = here + match_price(ml, offset)
+                            if arrival < cost[j + ml]:
+                                cost[j + ml] = arrival
+                                parent[j + ml] = (j, ml, offset)
+                        if best_seen >= min(limit, sufficient):
+                            break
+                candidate = prev[candidate]
+            if best_seen >= sufficient:
+                search_resume = i + best_seen
+            # Insert current position into the chains.
+            h = hashes[i]
+            prev[i] = head[h]
+            head[h] = i
+
+        # Walk parents back from the end, then emit forward.
+        steps: List[tuple] = []
+        j = size
+        while j > 0:
+            entry = parent[j]
+            if entry is None:
+                raise AssertionError("optimal parse lost the path")
+            steps.append(entry)
+            j = entry[0]
+        steps.reverse()
+
+        tokens: List[Token] = []
+        literal_run = 0
+        for __, ml, offset in steps:
+            if ml == 0:
+                literal_run += 1
+            else:
+                tokens.append(Token(literal_run, ml, offset))
+                counters.sequences_emitted += 1
+                counters.literals_emitted += literal_run
+                literal_run = 0
+        if literal_run:
+            tokens.append(Token(literal_run, 0, 0))
+        return tokens

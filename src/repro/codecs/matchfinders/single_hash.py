@@ -1,0 +1,78 @@
+"""Greedy single-slot hash-table match finder (the LZ4 / zstd-fast strategy)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.codecs.base import StageCounters
+from repro.codecs.lz77 import Token, match_length
+from repro.codecs.matchfinders.base import (
+    MatchFinder,
+    MatchFinderParams,
+    hash_positions,
+)
+
+
+class SingleHashMatchFinder(MatchFinder):
+    """One candidate per hash bucket, greedy acceptance.
+
+    With ``acceleration > 1`` the scan skips ahead progressively after
+    consecutive misses, exactly the mechanism behind LZ4's acceleration
+    factor and Zstandard's negative compression levels: less work per input
+    byte at the cost of missed matches.
+    """
+
+    def parse(
+        self,
+        data: bytes,
+        start: int,
+        params: MatchFinderParams,
+        counters: Optional[StageCounters] = None,
+    ) -> List[Token]:
+        counters = counters if counters is not None else StageCounters()
+        n = len(data)
+        min_match = params.min_match
+        hash_bytes = min(4, min_match)
+        hashes = hash_positions(data, params.hash_log, hash_bytes)
+        table = [-1] * (1 << params.hash_log)
+        counters.setup_entries += len(table)
+        max_offset = params.effective_max_offset()
+        max_match = params.max_match
+
+        last_hashable = len(hashes)  # positions with a full hash window
+        # Index dictionary/history bytes so matches can reach them.
+        for pos in range(min(start, last_hashable)):
+            table[hashes[pos]] = pos
+
+        tokens: List[Token] = []
+        anchor = start
+        i = start
+        misses = 0
+        while i + min_match <= n and i < last_hashable:
+            h = hashes[i]
+            candidate = table[h]
+            table[h] = i
+            counters.positions_scanned += 1
+            counters.hash_probes += 1
+            found = -1
+            if candidate >= 0 and i - candidate <= max_offset:
+                counters.match_candidates += 1
+                limit = min(n - i, max_match)
+                length = match_length(data, candidate, i, limit)
+                counters.match_bytes_compared += length + 1
+                if length >= min_match:
+                    found = length
+            if found > 0:
+                literal_run = i - anchor
+                tokens.append(Token(literal_run, found, i - candidate))
+                counters.sequences_emitted += 1
+                counters.literals_emitted += literal_run
+                i += found
+                anchor = i
+                misses = 0
+            else:
+                # LZ4-style acceleration: step grows with consecutive misses,
+                # scaled by the acceleration factor (skip strength 6).
+                misses += 1
+                i += 1 + ((misses * params.acceleration) >> 6)
+        return self._finish(tokens, anchor, n)

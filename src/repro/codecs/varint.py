@@ -1,0 +1,38 @@
+"""LEB128 unsigned varints used by the frame and block headers."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.codecs.base import CorruptDataError
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` as a little-endian base-128 varint."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Read a varint at ``pos``; returns ``(value, next_pos)``."""
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise CorruptDataError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptDataError("varint too long")

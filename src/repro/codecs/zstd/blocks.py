@@ -1,0 +1,376 @@
+"""Compressed-block encoding for the Zstd-style codec.
+
+A compressed block body is::
+
+    [literals section][sequences section]
+
+Literals (all blocks' literal bytes concatenated in parse order) are stored
+raw, as an RLE byte, or Huffman-coded -- whichever is smallest. Sequences
+are (literal length, offset, match length) triples; each field is mapped to
+a code (RFC 8478 tables) and the three code streams are FSE-coded, each with
+either a predefined distribution, a custom table shipped in the block header,
+or RLE when the stream is constant. Extra bits follow, packed per sequence.
+
+Trailing literals after the last sequence are implicit (the decoder appends
+whatever literals remain), matching the real format's convention.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.codecs.base import CorruptDataError, StageCounters
+from repro.codecs.entropy.bitio import BitReader, BitWriter
+from repro.codecs.entropy.fse import FSEDecoder, FSEEncoder, normalize_counts
+from repro.codecs.entropy.huffman import (
+    HuffmanDecoder,
+    HuffmanEncoder,
+    build_code_lengths,
+)
+from repro.codecs.lz77 import Token, copy_match
+from repro.codecs.varint import read_uvarint, write_uvarint
+from repro.codecs.zstd import params as zparams
+
+_LITERALS_RAW = 0
+_LITERALS_RLE = 1
+_LITERALS_HUFFMAN = 2
+
+_STREAM_PREDEFINED = 0
+_STREAM_CUSTOM = 1
+_STREAM_RLE = 2
+
+_HUFFMAN_MAX_BITS = 11
+
+
+# --------------------------------------------------------------------------
+# Literals section
+
+
+def _encode_literals(literals: bytes, out: bytearray, counters: StageCounters) -> None:
+    if literals and literals.count(literals[0]) == len(literals):
+        out.append(_LITERALS_RLE)
+        write_uvarint(out, len(literals))
+        out.append(literals[0] if literals else 0)
+        counters.entropy_symbols += 1
+        return
+    if len(literals) >= 64:
+        frequencies = [0] * 256
+        for byte in literals:
+            frequencies[byte] += 1
+        lengths = build_code_lengths(frequencies, _HUFFMAN_MAX_BITS)
+        encoder = HuffmanEncoder(lengths)
+        counters.table_builds += 1
+        payload_bits = encoder.encoded_bit_length(frequencies)
+        max_symbol = max(s for s, f in enumerate(frequencies) if f)
+        table_bytes = 2 + (max_symbol + 2) // 2
+        total = 1 + 5 + table_bytes + (payload_bits + 7) // 8
+        if total < len(literals):
+            out.append(_LITERALS_HUFFMAN)
+            write_uvarint(out, len(literals))
+            out.extend(max_symbol.to_bytes(2, "little"))
+            nibbles = bytearray()
+            for sym in range(0, max_symbol + 1, 2):
+                low = lengths[sym]
+                high = lengths[sym + 1] if sym + 1 <= max_symbol else 0
+                nibbles.append(low | (high << 4))
+            out.extend(nibbles)
+            writer = BitWriter()
+            for byte in literals:
+                encoder.encode_symbol(writer, byte)
+            encoded = writer.getvalue()
+            write_uvarint(out, len(encoded))
+            out.extend(encoded)
+            counters.entropy_symbols += len(literals)
+            counters.entropy_bits += payload_bits
+            return
+    out.append(_LITERALS_RAW)
+    write_uvarint(out, len(literals))
+    out.extend(literals)
+
+
+def _decode_literals(
+    payload: bytes, pos: int, counters: StageCounters
+) -> Tuple[bytes, int]:
+    if pos >= len(payload):
+        raise CorruptDataError("missing literals section")
+    mode = payload[pos]
+    pos += 1
+    size, pos = read_uvarint(payload, pos)
+    if size > zparams.MAX_BLOCK_SIZE:
+        raise CorruptDataError("literals size exceeds block limit")
+    if mode == _LITERALS_RAW:
+        if pos + size > len(payload):
+            raise CorruptDataError("truncated raw literals")
+        return payload[pos : pos + size], pos + size
+    if mode == _LITERALS_RLE:
+        if pos >= len(payload):
+            raise CorruptDataError("truncated RLE literals")
+        byte = payload[pos]
+        counters.entropy_symbols_decoded += 1
+        return bytes([byte]) * size, pos + 1
+    if mode == _LITERALS_HUFFMAN:
+        if pos + 2 > len(payload):
+            raise CorruptDataError("truncated Huffman table header")
+        max_symbol = int.from_bytes(payload[pos : pos + 2], "little")
+        pos += 2
+        if max_symbol > 255:
+            raise CorruptDataError("invalid Huffman alphabet")
+        nibble_count = (max_symbol + 2) // 2
+        if pos + nibble_count > len(payload):
+            raise CorruptDataError("truncated Huffman table")
+        lengths = [0] * 256
+        for index in range(nibble_count):
+            packed = payload[pos + index]
+            lengths[2 * index] = packed & 0x0F
+            if 2 * index + 1 <= max_symbol:
+                lengths[2 * index + 1] = packed >> 4
+        pos += nibble_count
+        encoded_size, pos = read_uvarint(payload, pos)
+        if pos + encoded_size > len(payload):
+            raise CorruptDataError("truncated Huffman payload")
+        decoder = HuffmanDecoder(lengths)
+        reader = BitReader(payload[pos : pos + encoded_size])
+        try:
+            literals = bytes(decoder.decode_symbol(reader) for _ in range(size))
+        except (EOFError, ValueError) as exc:
+            raise CorruptDataError(f"bad Huffman stream: {exc}") from None
+        counters.entropy_symbols_decoded += size
+        return literals, pos + encoded_size
+    raise CorruptDataError(f"unknown literals mode {mode}")
+
+
+# --------------------------------------------------------------------------
+# Sequences section
+
+
+def _split_value(value: int, table: List[Tuple[int, int]], code: int) -> Tuple[int, int]:
+    baseline, bits = table[code]
+    return value - baseline, bits
+
+
+def _choose_stream_mode(
+    codes: List[int],
+    predefined_norm: Sequence[int],
+    predefined_log: int,
+    alphabet: int,
+) -> Tuple[int, Optional[List[int]], int]:
+    """Pick RLE / predefined / custom coding for one code stream.
+
+    Returns (mode, normalized_counts_or_None, table_log). The decision
+    compares exact coded cost including the custom table header.
+    """
+    if all(code == codes[0] for code in codes):
+        return _STREAM_RLE, None, 0
+    frequencies = [0] * alphabet
+    for code in codes:
+        frequencies[code] += 1
+    predefined_cost = FSEEncoder(predefined_norm, predefined_log).cost_in_bits(codes)
+    custom_log = min(9, max(5, len(codes).bit_length()))
+    try:
+        custom_norm = normalize_counts(frequencies, custom_log)
+    except ValueError:
+        return _STREAM_PREDEFINED, None, predefined_log
+    header_bits = 8 + 8 + alphabet * (custom_log + 1)
+    custom_cost = FSEEncoder(custom_norm, custom_log).cost_in_bits(codes) + header_bits
+    if custom_cost < predefined_cost:
+        return _STREAM_CUSTOM, custom_norm, custom_log
+    return _STREAM_PREDEFINED, None, predefined_log
+
+
+def _write_custom_table(out: bytearray, normalized: List[int], table_log: int) -> None:
+    out.append(table_log)
+    max_symbol = max(s for s, n in enumerate(normalized) if n)
+    out.append(max_symbol)
+    writer = BitWriter()
+    for symbol in range(max_symbol + 1):
+        writer.write(normalized[symbol], table_log + 1)
+    out.extend(writer.getvalue())
+
+
+def _read_custom_table(
+    payload: bytes, pos: int, alphabet: int
+) -> Tuple[List[int], int, int]:
+    if pos + 2 > len(payload):
+        raise CorruptDataError("truncated FSE table header")
+    table_log = payload[pos]
+    max_symbol = payload[pos + 1]
+    pos += 2
+    if table_log > 12:
+        raise CorruptDataError("FSE table too large")
+    if max_symbol >= alphabet:
+        raise CorruptDataError("FSE symbol out of range")
+    total_bits = (max_symbol + 1) * (table_log + 1)
+    total_bytes = (total_bits + 7) // 8
+    if pos + total_bytes > len(payload):
+        raise CorruptDataError("truncated FSE table")
+    reader = BitReader(payload[pos : pos + total_bytes])
+    normalized = [0] * alphabet
+    for symbol in range(max_symbol + 1):
+        normalized[symbol] = reader.read(table_log + 1)
+    if sum(normalized) != (1 << table_log):
+        raise CorruptDataError("FSE table does not sum to table size")
+    return normalized, table_log, pos + total_bytes
+
+
+_STREAM_SPECS = (
+    # (code table, predefined norm, predefined log)
+    (zparams.LL_TABLE, zparams.PREDEFINED_LL_NORM, zparams.PREDEFINED_LL_LOG),
+    (zparams.OF_TABLE, zparams.PREDEFINED_OF_NORM, zparams.PREDEFINED_OF_LOG),
+    (zparams.ML_TABLE, zparams.PREDEFINED_ML_NORM, zparams.PREDEFINED_ML_LOG),
+)
+
+
+def _encode_sequences(
+    sequences: List[Tuple[int, int, int]], out: bytearray, counters: StageCounters
+) -> None:
+    """Encode (literal_length, offset, match_length) triples."""
+    write_uvarint(out, len(sequences))
+    if not sequences:
+        return
+    code_streams = [
+        [zparams.ll_code(ll) for ll, __, __ in sequences],
+        [zparams.of_code(of) for __, of, __ in sequences],
+        [zparams.ml_code(ml) for __, __, ml in sequences],
+    ]
+    writer = BitWriter()
+    for stream_index, codes in enumerate(code_streams):
+        table, predefined_norm, predefined_log = _STREAM_SPECS[stream_index]
+        mode, norm, table_log = _choose_stream_mode(
+            codes, predefined_norm, predefined_log, len(table)
+        )
+        out.append(mode)
+        if mode == _STREAM_RLE:
+            out.append(codes[0])
+            continue
+        if mode == _STREAM_CUSTOM:
+            _write_custom_table(out, norm, table_log)
+            counters.table_builds += 1
+            encoder = FSEEncoder(norm, table_log)
+        else:
+            encoder = FSEEncoder(predefined_norm, predefined_log)
+        encoder.encode(codes, writer)
+        counters.entropy_symbols += len(codes)
+    # Extra bits, packed per sequence in (ll, of, ml) order.
+    values_and_tables = (
+        (0, zparams.LL_TABLE, zparams.ll_code),
+        (1, zparams.OF_TABLE, zparams.of_code),
+        (2, zparams.ML_TABLE, zparams.ml_code),
+    )
+    for seq_index, (ll, of, ml) in enumerate(sequences):
+        triple = (ll, of, ml)
+        for field_index, table, code_fn in values_and_tables:
+            code = code_streams[field_index][seq_index]
+            extra, bits = _split_value(triple[field_index], table, code)
+            if bits:
+                writer.write(extra, bits)
+    encoded = writer.getvalue()
+    counters.entropy_bits += writer.bit_length
+    write_uvarint(out, len(encoded))
+    out.extend(encoded)
+
+
+def _decode_sequences(
+    payload: bytes, pos: int, counters: StageCounters
+) -> Tuple[List[Tuple[int, int, int]], int]:
+    count, pos = read_uvarint(payload, pos)
+    if count == 0:
+        return [], pos
+    if count > zparams.MAX_BLOCK_SIZE:
+        raise CorruptDataError("sequence count exceeds block limit")
+    stream_plans = []  # (mode, decoder-or-symbol)
+    for table, predefined_norm, predefined_log in _STREAM_SPECS:
+        if pos >= len(payload):
+            raise CorruptDataError("truncated sequence stream header")
+        mode = payload[pos]
+        pos += 1
+        if mode == _STREAM_RLE:
+            if pos >= len(payload):
+                raise CorruptDataError("truncated RLE stream symbol")
+            symbol = payload[pos]
+            pos += 1
+            if symbol >= len(table):
+                raise CorruptDataError("RLE code out of range")
+            stream_plans.append((mode, symbol))
+        elif mode == _STREAM_CUSTOM:
+            normalized, table_log, pos = _read_custom_table(payload, pos, len(table))
+            stream_plans.append((mode, FSEDecoder(normalized, table_log)))
+        elif mode == _STREAM_PREDEFINED:
+            stream_plans.append((mode, FSEDecoder(predefined_norm, predefined_log)))
+        else:
+            raise CorruptDataError(f"unknown sequence stream mode {mode}")
+    size, pos = read_uvarint(payload, pos)
+    if pos + size > len(payload):
+        raise CorruptDataError("truncated sequence bitstream")
+    reader = BitReader(payload[pos : pos + size])
+    code_streams: List[List[int]] = []
+    try:
+        for mode, plan in stream_plans:
+            if mode == _STREAM_RLE:
+                code_streams.append([plan] * count)
+            else:
+                code_streams.append(plan.decode(count, reader))
+                counters.entropy_symbols_decoded += count
+        sequences: List[Tuple[int, int, int]] = []
+        tables = (zparams.LL_TABLE, zparams.OF_TABLE, zparams.ML_TABLE)
+        for index in range(count):
+            values = []
+            for field in range(3):
+                code = code_streams[field][index]
+                baseline, bits = tables[field][code]
+                extra = reader.read(bits) if bits else 0
+                values.append(baseline + extra)
+            sequences.append((values[0], values[1], values[2]))
+    except (EOFError, ValueError) as exc:
+        raise CorruptDataError(f"bad sequence stream: {exc}") from None
+    return sequences, pos + size
+
+
+# --------------------------------------------------------------------------
+# Block assembly
+
+
+def encode_block(
+    data: bytes, start: int, tokens: List[Token], counters: StageCounters
+) -> bytes:
+    """Serialize a parse of ``data[start:]`` into a compressed block body."""
+    literals = bytearray()
+    sequences: List[Tuple[int, int, int]] = []
+    position = start
+    for token in tokens:
+        literals.extend(data[position : position + token.literal_length])
+        position += token.literal_length
+        if token.match_length:
+            sequences.append((token.literal_length, token.offset, token.match_length))
+            position += token.match_length
+    out = bytearray()
+    _encode_literals(bytes(literals), out, counters)
+    _encode_sequences(sequences, out, counters)
+    return bytes(out)
+
+
+def decode_block(
+    payload: bytes, counters: StageCounters, history: bytes = b""
+) -> bytes:
+    """Decode one compressed block body; ``history`` seeds the window."""
+    literals, pos = _decode_literals(payload, 0, counters)
+    sequences, pos = _decode_sequences(payload, pos, counters)
+    if pos != len(payload):
+        raise CorruptDataError("trailing bytes in compressed block")
+    out = bytearray(history)
+    base = len(out)
+    lit_pos = 0
+    for ll, offset, ml in sequences:
+        if lit_pos + ll > len(literals):
+            raise CorruptDataError("literal run exceeds literals buffer")
+        out.extend(literals[lit_pos : lit_pos + ll])
+        lit_pos += ll
+        try:
+            copy_match(out, offset, ml)
+        except ValueError as exc:
+            raise CorruptDataError(str(exc)) from None
+        counters.literal_bytes_copied += ll
+        counters.match_bytes_copied += ml
+        counters.sequences_decoded += 1
+    out.extend(literals[lit_pos:])
+    counters.literal_bytes_copied += len(literals) - lit_pos
+    return bytes(out[base:])

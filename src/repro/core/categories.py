@@ -1,0 +1,133 @@
+"""Workload categories and offload guidance (paper Section VI).
+
+Section VI-A sorts datacenter compression users into four categories:
+
+- **A. Compression-speed-sensitive** — prefers low levels (write-heavy
+  pipelines like DW2's shuffle);
+- **B. Decompression-speed-sensitive** — prefers small blocks (read-latency
+  SLOs like KVSTORE1);
+- **C. Latency-insensitive** — prefers high levels (long-term storage like
+  DW1's ingestion);
+- **D. Small-data-friendly** — prefers dictionary compression (caches).
+
+Section VI-B then argues categories A and C benefit from HW offload (bulk
+compression, CPU relief) while B and D should stay on the CPU unless the
+accelerator is on-chip, because per-call offload overhead swamps small
+blocks. :func:`classify_workload` and :func:`offload_recommendation`
+implement exactly that guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+
+class WorkloadCategory(Enum):
+    COMPRESSION_SPEED_SENSITIVE = "A"
+    DECOMPRESSION_SPEED_SENSITIVE = "B"
+    LATENCY_INSENSITIVE = "C"
+    SMALL_DATA_FRIENDLY = "D"
+
+
+@dataclass(frozen=True)
+class WorkloadTraits:
+    """What the classifier needs to know about a compression user."""
+
+    #: median block/item size passed to the codec, bytes
+    median_block_bytes: int
+    #: decompressions per compression (read amplification)
+    reads_per_write: float
+    #: is (de)compression on a request-latency-critical path?
+    latency_critical: bool
+    #: does the data consist of many same-typed small messages?
+    typed_small_messages: bool = False
+
+
+def classify_workload(traits: WorkloadTraits) -> WorkloadCategory:
+    """Map workload traits onto the paper's four categories.
+
+    Order of precedence follows the paper's descriptions: dictionary-shaped
+    small-message data is D regardless of latency; small-block latency-
+    critical readers are B; latency-critical writers are A; everything
+    else (no latency requirement) is C.
+    """
+    if traits.typed_small_messages and traits.median_block_bytes < 4096:
+        return WorkloadCategory.SMALL_DATA_FRIENDLY
+    if traits.latency_critical:
+        if traits.reads_per_write > 1.5:
+            return WorkloadCategory.DECOMPRESSION_SPEED_SENSITIVE
+        return WorkloadCategory.COMPRESSION_SPEED_SENSITIVE
+    return WorkloadCategory.LATENCY_INSENSITIVE
+
+
+@dataclass(frozen=True)
+class OffloadAdvice:
+    """Recommendation for one workload on one accelerator placement."""
+
+    category: WorkloadCategory
+    offload: bool
+    reason: str
+
+
+#: per-call offload cost below which an accelerator counts as "on-chip"
+_ON_CHIP_THRESHOLD_SECONDS = 2e-6
+
+
+def offload_recommendation(
+    traits: WorkloadTraits,
+    offload_overhead_seconds: float,
+    gamma: float = 10.0,
+    cpu_seconds_per_call: Optional[float] = None,
+) -> OffloadAdvice:
+    """Section VI-B's guidance, quantified.
+
+    Categories A and C offload profitably (bulk work, CPU relief). B and D
+    only offload when the accelerator is close enough that the per-call
+    crossing cost does not dominate their small blocks; when
+    ``cpu_seconds_per_call`` is known the break-even is computed exactly:
+    offload wins iff ``cpu/gamma + overhead < cpu``.
+    """
+    category = classify_workload(traits)
+    if cpu_seconds_per_call is not None:
+        accel_seconds = cpu_seconds_per_call / gamma + offload_overhead_seconds
+        if accel_seconds >= cpu_seconds_per_call:
+            return OffloadAdvice(
+                category,
+                False,
+                f"offload loses: {accel_seconds * 1e6:.1f}us vs CPU "
+                f"{cpu_seconds_per_call * 1e6:.1f}us per call",
+            )
+    if category in (
+        WorkloadCategory.COMPRESSION_SPEED_SENSITIVE,
+        WorkloadCategory.LATENCY_INSENSITIVE,
+    ):
+        return OffloadAdvice(
+            category, True,
+            "bulk (de)compression amortizes the crossing; frees CPU cycles",
+        )
+    if offload_overhead_seconds <= _ON_CHIP_THRESHOLD_SECONDS:
+        return OffloadAdvice(
+            category, True,
+            "accelerator is effectively on-chip; small blocks still win",
+        )
+    return OffloadAdvice(
+        category, False,
+        "per-call offload overhead dominates small blocks; stay on CPU",
+    )
+
+
+def classify_catalog() -> Sequence[tuple]:
+    """Classify the Table-I services; returns (name, category) pairs."""
+    presets = {
+        "DW1": WorkloadTraits(262144, 0.2, False),
+        "DW2": WorkloadTraits(262144, 0.4, True),
+        "DW3": WorkloadTraits(262144, 8.0, False),
+        "DW4": WorkloadTraits(131072, 2.0, False),
+        "ADS1": WorkloadTraits(16384, 1.0, True),
+        "CACHE1": WorkloadTraits(400, 20.0, True, typed_small_messages=True),
+        "CACHE2": WorkloadTraits(250, 30.0, True, typed_small_messages=True),
+        "KVSTORE1": WorkloadTraits(16384, 6.0, True),
+    }
+    return [(name, classify_workload(traits)) for name, traits in presets.items()]

@@ -1,0 +1,53 @@
+"""Compression metrics: the three quantities the paper evaluates.
+
+"There are three important compression metrics ...: compression ratio,
+compression speed, and decompression speed" (Section I). Block-granular use
+cases additionally care about decompression time per block (Section IV-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompressionMetrics:
+    """Measured performance of one configuration on one sample set."""
+
+    #: original bytes / compressed bytes (higher is better)
+    ratio: float
+    #: bytes/second of input consumed while compressing
+    compression_speed: float
+    #: bytes/second of output produced while decompressing
+    decompression_speed: float
+    #: total input bytes measured
+    input_bytes: int
+    #: total compressed bytes produced
+    compressed_bytes: int
+    #: number of blocks the samples were split into
+    block_count: int
+    #: mean seconds to decompress one block (read-latency driver, Fig. 13)
+    decode_seconds_per_block: float
+    #: share of compression cycles spent in match finding (Fig. 7's split)
+    match_finding_share: float = 0.0
+
+    @property
+    def compress_seconds(self) -> float:
+        """Total seconds spent compressing the sample set."""
+        if self.compression_speed <= 0:
+            return 0.0
+        return self.input_bytes / self.compression_speed
+
+    @property
+    def decompress_seconds(self) -> float:
+        """Total seconds spent decompressing the sample set."""
+        if self.decompression_speed <= 0:
+            return 0.0
+        return self.input_bytes / self.decompression_speed
+
+    @property
+    def space_saving(self) -> float:
+        """Fraction of bytes eliminated, 1 - 1/ratio."""
+        if self.ratio <= 0:
+            return 0.0
+        return 1.0 - 1.0 / self.ratio

@@ -1,0 +1,59 @@
+"""Cloud price book standing in for the paper's AWS references [1]-[3].
+
+The paper estimates compute costs from Amazon EC2/EIA and storage/network
+costs from Amazon S3. Only the *relative* magnitudes matter to CompOpt's
+alpha coefficients; these figures are 2023-era public on-demand prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_SECONDS_PER_HOUR = 3600.0
+_GIB = 1 << 30
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Dollar rates used to derive the cost model's alpha coefficients."""
+
+    #: $/hour for one on-demand compute instance
+    ec2_instance_hourly: float = 0.34
+    #: vCPUs per that instance
+    ec2_instance_vcpus: int = 8
+    #: $/hour for an elastic-inference-style accelerator attachment
+    eia_accelerator_hourly: float = 0.12
+    #: $/GiB-month of warm object storage
+    s3_gib_month: float = 0.023
+    #: $/GiB-month of flash-backed block storage (for SSD-bound services)
+    flash_gib_month: float = 0.08
+    #: $/GiB of cross-datacenter transfer
+    network_gib: float = 0.02
+
+    @property
+    def compute_core_second(self) -> float:
+        """$ per core-second of general-purpose compute."""
+        return self.ec2_instance_hourly / self.ec2_instance_vcpus / _SECONDS_PER_HOUR
+
+    @property
+    def accelerator_second(self) -> float:
+        """$ per accelerator-second."""
+        return self.eia_accelerator_hourly / _SECONDS_PER_HOUR
+
+    @property
+    def storage_byte_day(self) -> float:
+        """$ per byte-day of warm storage."""
+        return self.s3_gib_month / _GIB / 30.0
+
+    @property
+    def flash_byte_day(self) -> float:
+        """$ per byte-day of flash storage."""
+        return self.flash_gib_month / _GIB / 30.0
+
+    @property
+    def network_byte(self) -> float:
+        """$ per byte transferred between datacenters."""
+        return self.network_gib / _GIB
+
+
+DEFAULT_PRICES = PriceBook()

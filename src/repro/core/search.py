@@ -1,0 +1,121 @@
+"""Search strategies over the candidate grid.
+
+"With more compression parameters ... one might need to adopt efficient
+search methods based on random sampling, gradient-descent, or genetic
+algorithm, but the exhaustive search is sufficient for our study"
+(Section V-A). Exhaustive is the default; random sampling and a small
+evolutionary search are provided for larger spaces and for the auto-tuner
+example (Section VI-C).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, TYPE_CHECKING
+
+from repro.core.config import CompressionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.optimizer import RankedConfig
+
+Evaluator = Callable[[CompressionConfig], "RankedConfig"]
+
+
+class SearchStrategy:
+    """Chooses which candidates to evaluate."""
+
+    def run(
+        self, candidates: Sequence[CompressionConfig], evaluate: Evaluator
+    ) -> List["RankedConfig"]:
+        raise NotImplementedError
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Evaluate every candidate (the paper's choice)."""
+
+    def run(
+        self, candidates: Sequence[CompressionConfig], evaluate: Evaluator
+    ) -> List["RankedConfig"]:
+        return [evaluate(config) for config in candidates]
+
+
+class RandomSearch(SearchStrategy):
+    """Evaluate a random subset of the grid."""
+
+    def __init__(self, budget: int, seed: int = 0) -> None:
+        if budget <= 0:
+            raise ValueError("budget must be positive")
+        self.budget = budget
+        self.seed = seed
+
+    def run(
+        self, candidates: Sequence[CompressionConfig], evaluate: Evaluator
+    ) -> List["RankedConfig"]:
+        rng = random.Random(self.seed)
+        pool = list(candidates)
+        if len(pool) > self.budget:
+            pool = rng.sample(pool, self.budget)
+        return [evaluate(config) for config in pool]
+
+
+class EvolutionarySearch(SearchStrategy):
+    """Small genetic search: tournament selection + neighbor mutation.
+
+    Mutation moves a candidate to a grid neighbor (adjacent level or block
+    size within the same algorithm, or the same level in another algorithm),
+    which suits the locally monotone structure of compression trade-off
+    curves.
+    """
+
+    def __init__(
+        self,
+        generations: int = 4,
+        population: int = 8,
+        seed: int = 0,
+    ) -> None:
+        self.generations = generations
+        self.population = population
+        self.seed = seed
+
+    def _neighbors(
+        self, config: CompressionConfig, grid: Sequence[CompressionConfig]
+    ) -> List[CompressionConfig]:
+        near = []
+        for other in grid:
+            if other == config:
+                continue
+            same_algo = other.algorithm == config.algorithm
+            level_step = abs(other.level - config.level) <= 2
+            same_block = other.block_size == config.block_size
+            if (same_algo and level_step and same_block) or (
+                not same_algo and other.level == config.level and same_block
+            ):
+                near.append(other)
+        return near
+
+    def run(
+        self, candidates: Sequence[CompressionConfig], evaluate: Evaluator
+    ) -> List["RankedConfig"]:
+        rng = random.Random(self.seed)
+        grid = list(candidates)
+        population = grid if len(grid) <= self.population else rng.sample(
+            grid, self.population
+        )
+        seen = {}
+        for config in population:
+            seen[config] = evaluate(config)
+        for __ in range(self.generations):
+            scored = sorted(seen.values(), key=lambda r: r.total_cost)
+            parents = [r.config for r in scored[: max(2, self.population // 2)]]
+            children = []
+            for parent in parents:
+                neighbors = [
+                    c for c in self._neighbors(parent, grid) if c not in seen
+                ]
+                if neighbors:
+                    children.append(rng.choice(neighbors))
+            if not children:
+                break
+            for child in children:
+                seen[child] = evaluate(child)
+        return list(seen.values())

@@ -1,0 +1,49 @@
+"""Synthetic data generators standing in for closed production data.
+
+Every generator is deterministic given its seed and reproduces the
+*statistical* properties the paper identifies as driving compression
+behaviour: redundancy structure for the Silesia-like corpus, sparse/dense
+embedding mixes for ads requests, strongly-skewed small typed items for
+caches, and low-cardinality columnar data for the warehouse (DESIGN.md
+section 1.3).
+"""
+
+from repro.corpus.distributions import SeededSampler
+from repro.corpus.textgen import generate_text
+from repro.corpus.records import generate_records
+from repro.corpus.xmlgen import generate_xml
+from repro.corpus.binary import generate_binary
+from repro.corpus.logs import generate_logs
+from repro.corpus.telemetry import generate_telemetry
+from repro.corpus.silesia import SILESIA_FILES, silesia_like_corpus
+from repro.corpus.embeddings import ADS_MODELS, AdsModelSpec, generate_ads_request
+from repro.corpus.cache_items import (
+    CACHE1_TYPES,
+    CACHE2_TYPES,
+    ItemTypeSpec,
+    generate_cache_items,
+)
+from repro.corpus.kvdata import generate_kv_records
+from repro.corpus.orcdata import ColumnSpec, generate_table
+
+__all__ = [
+    "SeededSampler",
+    "generate_text",
+    "generate_records",
+    "generate_xml",
+    "generate_binary",
+    "generate_logs",
+    "generate_telemetry",
+    "SILESIA_FILES",
+    "silesia_like_corpus",
+    "ADS_MODELS",
+    "AdsModelSpec",
+    "generate_ads_request",
+    "CACHE1_TYPES",
+    "CACHE2_TYPES",
+    "ItemTypeSpec",
+    "generate_cache_items",
+    "generate_kv_records",
+    "ColumnSpec",
+    "generate_table",
+]

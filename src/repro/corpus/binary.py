@@ -1,0 +1,39 @@
+"""Executable-like binary data (the `mozilla`/`ooffice` corpus members)."""
+
+from __future__ import annotations
+
+from repro.corpus.distributions import SeededSampler
+
+_OPCODE_PATTERNS = [
+    b"\x55\x48\x89\xe5",          # push rbp; mov rbp, rsp
+    b"\x48\x83\xec\x20",          # sub rsp, 0x20
+    b"\x48\x8b\x45\xf8",          # mov rax, [rbp-8]
+    b"\xe8\x00\x00\x00\x00",      # call rel32 (zeroed)
+    b"\xc9\xc3",                  # leave; ret
+    b"\x0f\x1f\x40\x00",          # nop padding
+]
+
+_STRINGS = [b"error: %s\x00", b"/usr/lib/libfoo.so\x00", b"GLIBC_2.17\x00", b"main\x00"]
+
+
+def generate_binary(size: int, seed: int = 0) -> bytes:
+    """Machine-code-like bytes: opcode idioms, literal pools, random islands.
+
+    Lands in the 1.5-2.5x ratio band typical of executables -- the hardest
+    file class in Fig. 1.
+    """
+    sampler = SeededSampler(seed)
+    out = bytearray()
+    while len(out) < size:
+        roll = sampler.uniform()
+        if roll < 0.55:
+            out.extend(sampler.choice(_OPCODE_PATTERNS)[0])
+            # immediate operand, low entropy in the high bytes
+            out.extend(int(sampler.uniform(0, 4096)).to_bytes(4, "little"))
+        elif roll < 0.7:
+            out.extend(sampler.choice(_STRINGS)[0])
+        elif roll < 0.85:
+            out.extend(b"\x00" * int(sampler.uniform(4, 24)))
+        else:
+            out.extend(sampler.bytes(int(sampler.uniform(8, 40))))
+    return bytes(out[:size])

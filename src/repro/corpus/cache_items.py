@@ -1,0 +1,87 @@
+"""Typed small cache items with skewed size distributions (Figs 8-11).
+
+Items are strongly skewed toward sub-1KB sizes with a long tail, and items
+of the same type share structure (field names, enum values) so that per-type
+dictionaries capture substantial inter-message redundancy -- the property
+dictionary compression exploits in CACHE1/CACHE2 (Section IV-C).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.corpus.distributions import SeededSampler
+
+
+@dataclass(frozen=True)
+class ItemTypeSpec:
+    """One cache item type: a template plus its size distribution."""
+
+    name: str
+    median_size: int
+    sigma: float
+    weight: float  # share of traffic
+
+
+#: CACHE1: distributed memory object cache (memcached-like) item types.
+CACHE1_TYPES = [
+    ItemTypeSpec("user_profile", median_size=420, sigma=0.8, weight=0.35),
+    ItemTypeSpec("post_meta", median_size=250, sigma=0.9, weight=0.30),
+    ItemTypeSpec("session_state", median_size=180, sigma=0.6, weight=0.20),
+    ItemTypeSpec("media_manifest", median_size=1800, sigma=1.2, weight=0.15),
+]
+
+#: CACHE2: social-graph store item types (smaller, edge-heavy).
+CACHE2_TYPES = [
+    ItemTypeSpec("edge_list", median_size=140, sigma=0.9, weight=0.45),
+    ItemTypeSpec("node_attrs", median_size=260, sigma=0.7, weight=0.30),
+    ItemTypeSpec("assoc_count", median_size=64, sigma=0.4, weight=0.15),
+    ItemTypeSpec("range_index", median_size=900, sigma=1.1, weight=0.10),
+]
+
+_ENUMS = {
+    "visibility": ["public", "friends", "private"],
+    "state": ["created", "updated", "archived"],
+    "surface": ["feed", "profile", "search", "groups"],
+}
+
+
+def _item_payload(spec: ItemTypeSpec, sampler: SeededSampler, size: int) -> bytes:
+    body: Dict[str, object] = {
+        "type": spec.name,
+        "schema_version": 12,
+        "visibility": sampler.choice(_ENUMS["visibility"])[0],
+        "state": sampler.choice(_ENUMS["state"])[0],
+        "surface": sampler.choice(_ENUMS["surface"])[0],
+        "owner_id": int(sampler.uniform(1e8, 9e8)),
+        "updated_at": 1680000000 + int(sampler.uniform(0, 2_000_000)),
+    }
+    if spec.name in ("edge_list", "range_index"):
+        count = max(1, (size - 160) // 12)
+        base = int(sampler.uniform(1e8, 9e8))
+        body["edges"] = [base + int(sampler.uniform(0, 5000)) for _ in range(count)]
+    else:
+        filler_len = max(0, size - 220)
+        words = ["lorem", "ipsum", "dolor", "sit", "amet", "consectetur"]
+        body["blob"] = " ".join(sampler.choice(words, count=max(1, filler_len // 6)))
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+def generate_cache_items(
+    type_specs: List[ItemTypeSpec], count: int, seed: int = 0
+) -> List[Tuple[str, bytes]]:
+    """``count`` items as ``(type_name, payload)`` pairs, traffic-weighted."""
+    sampler = SeededSampler(seed)
+    weights = [spec.weight for spec in type_specs]
+    total_weight = sum(weights)
+    items: List[Tuple[str, bytes]] = []
+    for spec in type_specs:
+        type_count = max(1, int(round(count * spec.weight / total_weight)))
+        sizes = sampler.lognormal_sizes(
+            type_count, median=spec.median_size, sigma=spec.sigma, maximum=1 << 17
+        )
+        for size in sizes:
+            items.append((spec.name, _item_payload(spec, sampler, size)))
+    return sampler.shuffled(items)[:count]

@@ -1,0 +1,88 @@
+"""ADS1 request payloads: dense float and sparse integer embeddings.
+
+The paper describes ads inference requests as "dense float and sparse
+integer embeddings" whose mix "varies significantly between different
+models", with sparser requests compressing better (Section IV-D, Fig. 12).
+Model A is the highest-traffic model with the largest requests; model B is
+smaller; model C is model B's data under a different wire serialization.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.corpus.distributions import SeededSampler
+
+
+@dataclass(frozen=True)
+class AdsModelSpec:
+    """Shape of one ranking model's request payloads."""
+
+    name: str
+    #: average request size in bytes
+    request_size: int
+    #: fraction of the payload carried by sparse integer embeddings
+    sparse_fraction: float
+    #: fraction of sparse entries that are zero (drives compressibility)
+    sparse_zero_rate: float
+    #: "binary" packs raw arrays; "text" uses a JSON-like wire format
+    serialization: str = "binary"
+
+
+ADS_MODELS = {
+    "A": AdsModelSpec("A", request_size=65536, sparse_fraction=0.70, sparse_zero_rate=0.85),
+    "B": AdsModelSpec("B", request_size=16384, sparse_fraction=0.40, sparse_zero_rate=0.75),
+    "C": AdsModelSpec(
+        "C", request_size=16384, sparse_fraction=0.40, sparse_zero_rate=0.75,
+        serialization="text",
+    ),
+}
+
+
+def _dense_payload(sampler: SeededSampler, byte_budget: int) -> np.ndarray:
+    count = max(1, byte_budget // 4)
+    # Bounded activations: float32 with correlated low-order structure.
+    values = sampler.rng.normal(0.0, 0.25, size=count).astype(np.float32)
+    values = np.round(values, 3)  # quantized activations, as served models use
+    return values
+
+
+def _sparse_payload(sampler: SeededSampler, byte_budget: int, zero_rate: float) -> np.ndarray:
+    count = max(1, byte_budget // 8)
+    ids = sampler.rng.zipf(1.3, size=count).astype(np.int64)
+    mask = sampler.rng.uniform(size=count) < zero_rate
+    ids[mask] = 0
+    return ids
+
+
+def generate_ads_request(model: str, seed: int = 0) -> bytes:
+    """One serialized inference request for the given model ("A"/"B"/"C")."""
+    spec = ADS_MODELS[model]
+    sampler = SeededSampler(seed)
+    sparse_bytes = int(spec.request_size * spec.sparse_fraction)
+    dense_bytes = spec.request_size - sparse_bytes
+    dense = _dense_payload(sampler, dense_bytes)
+    sparse = _sparse_payload(sampler, sparse_bytes, spec.sparse_zero_rate)
+    header = {
+        "model": spec.name,
+        "version": 7,
+        "dense_len": int(dense.size),
+        "sparse_len": int(sparse.size),
+    }
+    if spec.serialization == "binary":
+        out = bytearray()
+        out.extend(json.dumps(header, sort_keys=True).encode())
+        out.append(0)
+        out.extend(dense.tobytes())
+        out.extend(sparse.tobytes())
+        return bytes(out)
+    # Text serialization: same data, digits on the wire (model C).
+    payload = {
+        "header": header,
+        "dense": [float(v) for v in dense[: dense.size]],
+        "sparse": [int(v) for v in sparse[: sparse.size]],
+    }
+    return json.dumps(payload, separators=(",", ":")).encode()

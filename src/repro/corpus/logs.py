@@ -1,0 +1,46 @@
+"""JSON-lines service logs (a datacenter-native file class).
+
+Log pipelines are among the heaviest compression users in any fleet (the
+registry's ``web_logging`` service); their mix of repeated structure and
+variable values sits between the database and text classes of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.corpus.distributions import SeededSampler
+
+_LEVELS = ["INFO", "INFO", "INFO", "WARN", "DEBUG", "ERROR"]
+_SERVICES = ["api.gateway", "feed.ranker", "ads.scorer", "media.resizer"]
+_MESSAGES = [
+    "request completed",
+    "cache miss, falling back to origin",
+    "retrying upstream call",
+    "slow query detected",
+    "connection pool exhausted",
+    "token refreshed",
+]
+
+
+def generate_logs(size: int, seed: int = 0) -> bytes:
+    """JSON-lines log records totalling ``size`` bytes."""
+    sampler = SeededSampler(seed)
+    lines = []
+    total = 0
+    timestamp = 1_680_000_000.0
+    while total < size:
+        timestamp += sampler.uniform(0.0005, 0.2)
+        record = {
+            "ts": round(timestamp, 4),
+            "level": sampler.choice(_LEVELS)[0],
+            "svc": sampler.choice(_SERVICES)[0],
+            "msg": sampler.choice(_MESSAGES)[0],
+            "req_id": f"{int(sampler.uniform(0, 2**48)):012x}",
+            "latency_ms": round(sampler.uniform(0.2, 250.0), 2),
+            "status": int(sampler.choice([200, 200, 200, 204, 404, 500])[0]),
+        }
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        lines.append(line)
+        total += len(line)
+    return "".join(lines).encode("ascii")[:size]

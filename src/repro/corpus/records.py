@@ -1,0 +1,36 @@
+"""Structured database-like records (the `nci`/`sao`-style corpus member)."""
+
+from __future__ import annotations
+
+from repro.corpus.distributions import SeededSampler
+
+_COUNTRIES = ["US", "IN", "BR", "ID", "MX", "PH", "VN", "TH", "EG", "TR"]
+_STATUSES = ["active", "inactive", "pending", "deleted"]
+_DEVICES = ["ios", "android", "web", "mweb"]
+
+
+def generate_records(size: int, seed: int = 0) -> bytes:
+    """Row-oriented records with a fixed schema and skewed value pools.
+
+    The repeated field names and low-cardinality values make this highly
+    compressible (roughly 6-10x), like database exports in the classic
+    corpora.
+    """
+    sampler = SeededSampler(seed)
+    rows = []
+    total = 0
+    row_id = 100000
+    while total < size:
+        row_id += int(sampler.uniform(1, 50))
+        country = sampler.choice(_COUNTRIES)[0]
+        status = sampler.choice(_STATUSES)[0]
+        device = sampler.choice(_DEVICES)[0]
+        score = sampler.uniform(0, 1)
+        timestamp = 1680000000 + int(sampler.uniform(0, 2_000_000))
+        row = (
+            f"id={row_id}|country={country}|status={status}|device={device}"
+            f"|score={score:.4f}|ts={timestamp}|flags=0x{int(sampler.uniform(0, 255)):02x}\n"
+        )
+        rows.append(row)
+        total += len(row)
+    return "".join(rows).encode("ascii")[:size]

@@ -1,0 +1,38 @@
+"""A Silesia-like corpus bundle for Fig. 1.
+
+The real Silesia corpus mixes text, databases, XML, and binaries; Fig. 1
+uses "an excerpt" of it to show order-of-magnitude spread in ratio and speed
+across file types. This bundle reproduces that spread with one synthetic
+file per class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.corpus.binary import generate_binary
+from repro.corpus.logs import generate_logs
+from repro.corpus.records import generate_records
+from repro.corpus.telemetry import generate_telemetry
+from repro.corpus.textgen import generate_text
+from repro.corpus.xmlgen import generate_xml
+
+#: file name -> (descriptive class, generator). The first four mirror the
+#: real corpus's classes; the last two are datacenter-native additions
+#: (JSON logs, float telemetry) widening Fig. 1's spread.
+SILESIA_FILES = {
+    "dickens-like": ("text", generate_text),
+    "nci-like": ("database", generate_records),
+    "xml-like": ("markup", generate_xml),
+    "mozilla-like": ("binary", generate_binary),
+    "log-like": ("json-logs", generate_logs),
+    "telemetry-like": ("float-series", generate_telemetry),
+}
+
+
+def silesia_like_corpus(file_size: int = 1 << 16, seed: int = 2023) -> Dict[str, bytes]:
+    """Generate the bundle; keys are file names, values are file bytes."""
+    corpus = {}
+    for index, (name, (__, generator)) in enumerate(SILESIA_FILES.items()):
+        corpus[name] = generator(file_size, seed=seed + index)
+    return corpus

@@ -1,0 +1,32 @@
+"""Tagged markup with heavy structural repetition (the `xml` corpus member)."""
+
+from __future__ import annotations
+
+from repro.corpus.distributions import SeededSampler
+
+_TAGS = ["entry", "item", "record", "node"]
+_ATTRS = ["version", "category", "region", "priority"]
+_VALUES = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+
+def generate_xml(size: int, seed: int = 0) -> bytes:
+    """Nested XML-like markup; compresses very well (roughly 8-15x)."""
+    sampler = SeededSampler(seed)
+    parts = ['<?xml version="1.0" encoding="UTF-8"?>\n<document>\n']
+    total = len(parts[0])
+    identifier = 0
+    while total < size:
+        tag = sampler.choice(_TAGS)[0]
+        attr = sampler.choice(_ATTRS)[0]
+        value = sampler.choice(_VALUES)[0]
+        identifier += 1
+        fragment = (
+            f'  <{tag} id="{identifier}" {attr}="{value}">\n'
+            f"    <name>{value}-{identifier % 97}</name>\n"
+            f"    <weight>{sampler.uniform(0, 100):.2f}</weight>\n"
+            f"  </{tag}>\n"
+        )
+        parts.append(fragment)
+        total += len(fragment)
+    parts.append("</document>\n")
+    return "".join(parts).encode("ascii")[:size]

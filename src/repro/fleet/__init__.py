@@ -1,0 +1,38 @@
+"""Fleet-level profiling simulation (Section III).
+
+Meta's fleet characterization comes from a continuous profiler sampling
+application call stacks across hundreds of thousands of servers for 30 days,
+then filtering the stacks for compression APIs. That infrastructure and its
+data are closed, so this package substitutes a synthetic fleet: a registry
+of service profiles whose compression behaviour (algorithm mix, level mix,
+compression/decompression split, block sizes) is drawn around the paper's
+published aggregates, plus a sampling profiler and the aggregation pipeline
+that turns raw call-stack samples back into the fleet-level views of
+Figs 2-5.
+
+Figures regenerated from this package are *calibrated* (the published
+aggregates are encoded in the registry) rather than *emergent*; the
+service-level figures (6-13) are emergent from the real substrates. See
+DESIGN.md section 1.5.
+"""
+
+from repro.fleet.profiles import (
+    DEFAULT_FLEET,
+    ServiceProfile,
+    fleet_by_category,
+)
+from repro.fleet.callstack import CallStackSample, is_compression_frame, parse_frame
+from repro.fleet.profiler import SamplingProfiler
+from repro.fleet.characterization import FleetCharacterization, characterize
+
+__all__ = [
+    "ServiceProfile",
+    "DEFAULT_FLEET",
+    "fleet_by_category",
+    "CallStackSample",
+    "is_compression_frame",
+    "parse_frame",
+    "SamplingProfiler",
+    "FleetCharacterization",
+    "characterize",
+]

@@ -1,0 +1,115 @@
+"""The sampling profiler: draws weighted call-stack samples from the fleet.
+
+Mirrors the methodology of Section III-A: cycles are sampled in proportion
+to each service's compute share; stacks inside compression are attributed to
+an (algorithm, direction, level, stage) leaf according to the service's
+profile. Identical leaves are aggregated with multinomial counts, which
+keeps a 30-day fleet profile tractable in memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fleet.callstack import CallStackSample, build_stack
+from repro.fleet.profiles import DEFAULT_FLEET, ServiceProfile
+
+#: fraction of compression cycles in the match-finding stage, by level.
+#: Low levels are entropy-dominated, high levels match-finding-dominated
+#: (Fig. 7: ~30% at level 1, ~80% at level 7+).
+
+
+def match_finding_fraction(level: int) -> float:
+    if level <= 0:
+        return 0.25
+    return min(0.85, 0.25 + 0.09 * level)
+
+
+class SamplingProfiler:
+    """Draws a fleet profile over a time window."""
+
+    def __init__(
+        self,
+        fleet: Optional[List[ServiceProfile]] = None,
+        samples_per_day: int = 2_000_000,
+        seed: int = 30,
+    ) -> None:
+        self.fleet = fleet if fleet is not None else DEFAULT_FLEET
+        self.samples_per_day = samples_per_day
+        self.seed = seed
+
+    def _service_leaves(
+        self, profile: ServiceProfile
+    ) -> List[Tuple[float, Optional[str], Optional[str], Optional[int], Optional[str]]]:
+        """(probability, algorithm, direction, level, stage) leaves."""
+        leaves = [(1.0 - profile.compression_share, None, None, None, None)]
+        for algorithm, algo_weight in profile.algorithm_mix.items():
+            base = profile.compression_share * algo_weight
+            compress_weight = base * profile.compress_fraction
+            decompress_weight = base * (1.0 - profile.compress_fraction)
+            leaves.append((decompress_weight, algorithm, "decompress", None, None))
+            if algorithm == "zstd":
+                for level, level_weight in profile.level_mix.items():
+                    weight = compress_weight * level_weight
+                    mf = match_finding_fraction(level)
+                    leaves.append(
+                        (weight * mf, algorithm, "compress", level, "match_finding")
+                    )
+                    leaves.append(
+                        (weight * (1 - mf), algorithm, "compress", level, "entropy")
+                    )
+            else:
+                leaves.append((compress_weight, algorithm, "compress", None, None))
+        return leaves
+
+    def run(self, days: int = 30) -> List[CallStackSample]:
+        """Profile the fleet for ``days``; returns aggregated samples."""
+        rng = np.random.default_rng(self.seed)
+        total_samples = self.samples_per_day * days
+
+        leaf_specs: List[Tuple[ServiceProfile, Tuple]] = []
+        probabilities: List[float] = []
+        for profile in self.fleet:
+            for leaf in self._service_leaves(profile):
+                weight = profile.fleet_compute_share * leaf[0]
+                if weight <= 0:
+                    continue
+                leaf_specs.append((profile, leaf))
+                probabilities.append(weight)
+        probs = np.asarray(probabilities)
+        probs = probs / probs.sum()
+        counts = rng.multinomial(total_samples, probs)
+
+        samples: List[CallStackSample] = []
+        for (profile, leaf), count in zip(leaf_specs, counts):
+            if count == 0:
+                continue
+            __, algorithm, direction, level, stage = leaf
+            median, sigma = profile.block_size
+            block_size = (
+                int(rng.lognormal(np.log(median), sigma))
+                if algorithm is not None
+                else None
+            )
+            samples.append(
+                CallStackSample(
+                    service=profile.name,
+                    category=profile.category,
+                    frames=build_stack(profile.name, algorithm, direction, stage),
+                    weight=int(count),
+                    level=level,
+                    stage=stage,
+                    block_size=block_size,
+                )
+            )
+        return samples
+
+    def block_size_samples(
+        self, profile: ServiceProfile, count: int = 1000
+    ) -> np.ndarray:
+        """Draw per-call block sizes for one service (Fig. 5's data)."""
+        rng = np.random.default_rng(self.seed + hash(profile.name) % 65536)
+        median, sigma = profile.block_size
+        return rng.lognormal(np.log(median), sigma, size=count).astype(np.int64)

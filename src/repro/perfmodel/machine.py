@@ -1,0 +1,206 @@
+"""The machine model: per-operation cycle costs and throughput conversion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.codecs.base import StageCounters
+
+#: nominal datacenter-core clock, Hz
+DEFAULT_FREQUENCY_HZ = 3.0e9
+
+
+@dataclass(frozen=True)
+class CostCoefficients:
+    """Cycle costs per counted operation for one codec family.
+
+    Compression-side coefficients are split between the two pipeline stages
+    so Fig. 7's match-finding vs entropy attribution can be computed.
+    """
+
+    # -- match-finding stage --
+    scan: float = 1.2
+    probe: float = 1.6
+    candidate: float = 3.0
+    compare_byte: float = 0.15
+    sequence: float = 6.0
+    literal: float = 0.6
+    setup_entry: float = 0.12
+    # -- entropy stage --
+    entropy_symbol: float = 4.0
+    entropy_bit: float = 0.02
+    table_build: float = 1800.0
+    # -- per-call / per-byte base costs --
+    call_overhead: float = 1500.0
+    byte_in: float = 0.8
+    # -- decode side --
+    decode_sequence: float = 9.0
+    decode_literal_byte: float = 0.35
+    decode_match_byte: float = 0.45
+    decode_entropy_symbol: float = 4.5
+    decode_byte_out: float = 0.25
+    decode_call_overhead: float = 600.0
+
+
+#: Calibrated per-codec coefficients. Anchors (3 GHz core, lzbench-style
+#: published numbers): lz4 ~750 MB/s compress / ~4.5 GB/s decompress;
+#: zstd-1 ~500 MB/s / ~1.6 GB/s; zlib-6 ~40 MB/s / ~400 MB/s.
+CODEC_COEFFICIENTS: Dict[str, CostCoefficients] = {
+    # LZ4: no entropy stage; token emission is nearly free, decode is a
+    # branchy memcpy loop.
+    "lz4": CostCoefficients(
+        scan=1.9,
+        probe=2.3,
+        candidate=4.2,
+        compare_byte=0.23,
+        sequence=5.7,
+        literal=0.5,
+        entropy_symbol=1.9,
+        entropy_bit=0.0,
+        table_build=0.0,
+        call_overhead=900.0,
+        byte_in=0.95,
+        decode_sequence=5.0,
+        decode_literal_byte=0.12,
+        decode_match_byte=0.18,
+        decode_entropy_symbol=0.0,
+        decode_byte_out=0.08,
+        decode_call_overhead=400.0,
+    ),
+    # Zstd: Huffman literals + FSE sequences; decode pays roughly one
+    # entropy symbol per literal byte.
+    "zstd": CostCoefficients(
+        scan=1.6,
+        probe=2.1,
+        candidate=3.9,
+        compare_byte=0.2,
+        sequence=7.8,
+        literal=0.65,
+        entropy_symbol=4.5,
+        entropy_bit=0.026,
+        table_build=1800.0,
+        call_overhead=1500.0,
+        byte_in=0.9,
+        decode_sequence=6.5,
+        decode_literal_byte=0.24,
+        decode_match_byte=0.32,
+        decode_entropy_symbol=2.4,
+        decode_byte_out=0.16,
+        decode_call_overhead=700.0,
+    ),
+    # zlib: bit-serial Huffman on every symbol, old-style three-byte hash.
+    "zlib": CostCoefficients(
+        scan=5.5,
+        probe=6.6,
+        candidate=11.0,
+        compare_byte=0.66,
+        sequence=19.8,
+        literal=2.6,
+        entropy_symbol=19.8,
+        entropy_bit=0.11,
+        table_build=5000.0,
+        call_overhead=2000.0,
+        byte_in=3.3,
+        decode_sequence=25.0,
+        decode_literal_byte=1.7,
+        decode_match_byte=1.9,
+        decode_entropy_symbol=13.5,
+        decode_byte_out=0.85,
+        decode_call_overhead=900.0,
+    ),
+}
+
+
+# The gzip container shares the DEFLATE engine, so it shares zlib's costs.
+CODEC_COEFFICIENTS["gzip"] = CODEC_COEFFICIENTS["zlib"]
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Cycles attributed to each pipeline stage of one call."""
+
+    match_finding: float
+    entropy: float
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        return self.match_finding + self.entropy + self.overhead
+
+    @property
+    def match_finding_share(self) -> float:
+        """Fraction of cycles in the match-finding stage (Fig. 7's split)."""
+        return self.match_finding / self.total if self.total else 0.0
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Converts stage counters into cycles and throughput on a nominal core."""
+
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+    coefficients: Dict[str, CostCoefficients] = field(
+        default_factory=lambda: dict(CODEC_COEFFICIENTS)
+    )
+
+    def _coeffs(self, codec: str) -> CostCoefficients:
+        return self.coefficients.get(codec, CostCoefficients())
+
+    def compress_breakdown(self, codec: str, c: StageCounters) -> StageBreakdown:
+        """Cycle breakdown of one compression call."""
+        k = self._coeffs(codec)
+        match_finding = (
+            k.scan * c.positions_scanned
+            + k.probe * c.hash_probes
+            + k.candidate * c.match_candidates
+            + k.compare_byte * c.match_bytes_compared
+            + k.sequence * c.sequences_emitted
+            + k.literal * c.literals_emitted
+            + k.setup_entry * c.setup_entries
+        )
+        entropy = (
+            k.entropy_symbol * c.entropy_symbols
+            + k.entropy_bit * c.entropy_bits
+            + k.table_build * c.table_builds
+        )
+        overhead = k.call_overhead + k.byte_in * c.bytes_in
+        return StageBreakdown(match_finding, entropy, overhead)
+
+    def compress_cycles(self, codec: str, counters: StageCounters) -> float:
+        return self.compress_breakdown(codec, counters).total
+
+    def decompress_cycles(self, codec: str, c: StageCounters) -> float:
+        k = self._coeffs(codec)
+        return (
+            k.decode_sequence * c.sequences_decoded
+            + k.decode_literal_byte * c.literal_bytes_copied
+            + k.decode_match_byte * c.match_bytes_copied
+            + k.decode_entropy_symbol * c.entropy_symbols_decoded
+            + k.decode_byte_out * c.bytes_out
+            + k.decode_call_overhead
+        )
+
+    # -- throughput helpers -------------------------------------------------
+
+    def compress_speed(self, codec: str, counters: StageCounters) -> float:
+        """Modeled compression speed in bytes/second (input bytes)."""
+        cycles = self.compress_cycles(codec, counters)
+        if cycles <= 0:
+            return float("inf")
+        return counters.bytes_in * self.frequency_hz / cycles
+
+    def decompress_speed(self, codec: str, counters: StageCounters) -> float:
+        """Modeled decompression speed in bytes/second (output bytes)."""
+        cycles = self.decompress_cycles(codec, counters)
+        if cycles <= 0:
+            return float("inf")
+        return counters.bytes_out * self.frequency_hz / cycles
+
+    def compress_seconds(self, codec: str, counters: StageCounters) -> float:
+        return self.compress_cycles(codec, counters) / self.frequency_hz
+
+    def decompress_seconds(self, codec: str, counters: StageCounters) -> float:
+        return self.decompress_cycles(codec, counters) / self.frequency_hz
+
+
+DEFAULT_MACHINE = MachineModel()

@@ -1,0 +1,50 @@
+"""Service substrates: the systems behind Table I.
+
+Each substrate is a minimal but faithful implementation of the service
+architecture the paper characterizes, exercising the same compression call
+sites: block-granular SST compression in the LSM key-value store, per-item
+dictionary compression in the caches, ORC-style columnar blocks in the data
+warehouse, and request payload compression in the ads inference tier.
+"""
+
+from repro.services.catalog import SERVICE_CATALOG, ServiceInfo
+from repro.services.cache import CacheClient, CacheServer, CacheStats
+from repro.services.kvstore import KVStore, KVStoreStats
+from repro.services.warehouse import (
+    IngestionJob,
+    MLDataJob,
+    OrcReader,
+    OrcWriter,
+    ShuffleJob,
+    SparkJob,
+    WorkflowReport,
+)
+from repro.services.ads import AdsInferenceService, AdsRequestStats
+from repro.services.rpc import Channel, RpcStats
+from repro.services.managed import ManagedBlob, ManagedCompression
+from repro.services.farmemory import FarMemoryPool, FarMemoryStats
+
+__all__ = [
+    "SERVICE_CATALOG",
+    "ServiceInfo",
+    "CacheClient",
+    "CacheServer",
+    "CacheStats",
+    "KVStore",
+    "KVStoreStats",
+    "OrcWriter",
+    "OrcReader",
+    "IngestionJob",
+    "ShuffleJob",
+    "SparkJob",
+    "MLDataJob",
+    "WorkflowReport",
+    "AdsInferenceService",
+    "AdsRequestStats",
+    "Channel",
+    "RpcStats",
+    "ManagedCompression",
+    "ManagedBlob",
+    "FarMemoryPool",
+    "FarMemoryStats",
+]

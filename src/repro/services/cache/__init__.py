@@ -1,0 +1,14 @@
+"""CACHE1/CACHE2: distributed memory object caching with item compression.
+
+"Caches need to offer fast random access to their contents, so when they
+offer compression, they compress each item individually. ... Compressing
+items individually means that the item can be sent compressed over the
+network to the client without decompressing on the server-side, saving both
+CPU and network. ... we can group items by their type and provide one
+dictionary per data type" (Section IV-C).
+"""
+
+from repro.services.cache.server import CacheServer, CacheStats
+from repro.services.cache.client import CacheClient
+
+__all__ = ["CacheServer", "CacheStats", "CacheClient"]

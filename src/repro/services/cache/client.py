@@ -1,0 +1,57 @@
+"""Cache client: decompresses served items on the client side."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.codecs.base import StageCounters
+from repro.perfmodel import DEFAULT_MACHINE, MachineModel
+from repro.services.cache.server import CacheServer
+
+
+@dataclass
+class ClientStats:
+    """Client-side decompression work (decentralized, as the paper notes)."""
+
+    gets: int = 0
+    decompress_counters: StageCounters = field(default_factory=StageCounters)
+    decompress_seconds: float = 0.0
+    bytes_received: int = 0
+    bytes_decoded: int = 0
+
+
+class CacheClient:
+    """Client that receives compressed items and decompresses locally.
+
+    "The client has to decompress the data, but the load is less centralized
+    as each cache machine serves hundreds to thousands of clients"
+    (Section IV-C).
+    """
+
+    def __init__(
+        self, server: CacheServer, machine: MachineModel = DEFAULT_MACHINE
+    ) -> None:
+        self.server = server
+        self.machine = machine
+        self.stats = ClientStats()
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Fetch and (if needed) decompress one item."""
+        self.stats.gets += 1
+        entry = self.server.get_compressed(key)
+        if entry is None:
+            return None
+        type_name, compressed, payload = entry
+        self.stats.bytes_received += len(payload)
+        if not compressed:
+            self.stats.bytes_decoded += len(payload)
+            return payload
+        dictionary = self.server.dictionary_for(type_name)
+        result = self.server.codec.decompress(payload, dictionary=dictionary)
+        self.stats.decompress_counters.merge(result.counters)
+        self.stats.decompress_seconds += self.machine.decompress_seconds(
+            self.server.codec.name, result.counters
+        )
+        self.stats.bytes_decoded += len(result.data)
+        return result.data

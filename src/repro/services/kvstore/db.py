@@ -1,0 +1,244 @@
+"""The LSM database: memtable, levels, flush, and compaction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codecs import Compressor, get_codec
+from repro.codecs.base import StageCounters
+from repro.perfmodel import DEFAULT_MACHINE, MachineModel
+from repro.services.kvstore.blockcache import BlockCache
+from repro.services.kvstore.memtable import MemTable
+from repro.services.kvstore.sst import SSTable
+
+
+@dataclass
+class KVStoreStats:
+    """Aggregate compression and read-path accounting for one store."""
+
+    flushes: int = 0
+    compactions: int = 0
+    reads: int = 0
+    blocks_decompressed: int = 0
+    read_decode_seconds: List[float] = field(default_factory=list)
+    compress_counters: StageCounters = field(default_factory=StageCounters)
+    decompress_counters: StageCounters = field(default_factory=StageCounters)
+    raw_bytes_written: int = 0
+    stored_bytes_written: int = 0
+
+    @property
+    def storage_ratio(self) -> float:
+        """Overall compression ratio of everything flushed/compacted."""
+        if not self.stored_bytes_written:
+            return 1.0
+        return self.raw_bytes_written / self.stored_bytes_written
+
+    @property
+    def mean_read_decode_seconds(self) -> float:
+        if not self.read_decode_seconds:
+            return 0.0
+        return sum(self.read_decode_seconds) / len(self.read_decode_seconds)
+
+
+class KVStore:
+    """A minimal levelled-compaction LSM store with compressed SST blocks.
+
+    ``compression_level`` and ``block_size`` are the knobs KVSTORE1 tunes
+    (Section IV-E): bigger blocks compress better but cost more per point
+    read, since the whole block must be decompressed.
+    """
+
+    def __init__(
+        self,
+        codec: Optional[Compressor] = None,
+        compression_level: int = 1,
+        block_size: int = 16384,
+        memtable_bytes: int = 1 << 18,
+        level0_table_limit: int = 4,
+        level_size_multiplier: int = 4,
+        machine: MachineModel = DEFAULT_MACHINE,
+        block_cache_bytes: Optional[int] = None,
+        bloom_bits_per_key: int = 10,
+    ) -> None:
+        self.codec = codec if codec is not None else get_codec("zstd")
+        self.compression_level = compression_level
+        self.block_size = block_size
+        self.memtable_bytes = memtable_bytes
+        self.level0_table_limit = level0_table_limit
+        self.level_size_multiplier = level_size_multiplier
+        self.machine = machine
+        self.block_cache = (
+            BlockCache(block_cache_bytes) if block_cache_bytes else None
+        )
+        self.bloom_bits_per_key = bloom_bits_per_key
+        self.memtable = MemTable(memtable_bytes)
+        #: levels[0] is newest-first; deeper levels hold one merged SST each
+        self.levels: List[List[SSTable]] = [[]]
+        self.stats = KVStoreStats()
+
+    # -- write path -----------------------------------------------------------
+
+    def put(self, key: bytes, value: bytes) -> None:
+        self.memtable.put(bytes(key), bytes(value))
+        if self.memtable.is_full():
+            self.flush()
+
+    def delete(self, key: bytes) -> None:
+        self.memtable.put(bytes(key), None)
+        if self.memtable.is_full():
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the memtable out as a level-0 SST."""
+        if not len(self.memtable):
+            return
+        table = SSTable.build(
+            self.memtable.sorted_entries(),
+            codec=self.codec,
+            level=self.compression_level,
+            block_size=self.block_size,
+            machine=self.machine,
+            bloom_bits_per_key=self.bloom_bits_per_key,
+            block_cache=self.block_cache,
+        )
+        self._absorb_build_stats(table)
+        self.levels[0].insert(0, table)
+        self.memtable = MemTable(self.memtable_bytes)
+        self.stats.flushes += 1
+        self._maybe_compact()
+
+    def _absorb_build_stats(self, table: SSTable) -> None:
+        self.stats.compress_counters.merge(table.stats.compress_counters)
+        self.stats.raw_bytes_written += table.stats.raw_bytes
+        self.stats.stored_bytes_written += table.stats.stored_bytes
+
+    # -- compaction -------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        level = 0
+        while level < len(self.levels):
+            limit = self.level0_table_limit * (
+                self.level_size_multiplier ** level if level else 1
+            )
+            if len(self.levels[level]) > max(1, limit if level == 0 else 1):
+                self._compact_level(level)
+            level += 1
+
+    def _compact_level(self, level: int) -> None:
+        """Merge every SST in ``level`` (plus the next level) downward."""
+        sources = list(self.levels[level])
+        if level + 1 < len(self.levels):
+            sources.extend(self.levels[level + 1])
+        else:
+            self.levels.append([])
+        merged = self._merge(sources, drop_tombstones=level + 2 >= len(self.levels))
+        for table in sources:
+            self.stats.decompress_counters.merge(table.stats.decompress_counters)
+        if merged:
+            table = SSTable.build(
+                merged,
+                codec=self.codec,
+                level=self.compression_level,
+                block_size=self.block_size,
+                machine=self.machine,
+                bloom_bits_per_key=self.bloom_bits_per_key,
+                block_cache=self.block_cache,
+            )
+            self._absorb_build_stats(table)
+            self.levels[level + 1] = [table]
+        else:
+            self.levels[level + 1] = []
+        self.levels[level] = []
+        self.stats.compactions += 1
+
+    @staticmethod
+    def _merge(
+        tables: List[SSTable], drop_tombstones: bool
+    ) -> List[Tuple[bytes, Optional[bytes]]]:
+        """Newest-wins merge of sorted runs, removing overlapping items."""
+        winners: Dict[bytes, Optional[bytes]] = {}
+        # tables are ordered newest first; first writer wins.
+        for table in tables:
+            for key, value in table.scan():
+                if key not in winners:
+                    winners[key] = value
+        entries = sorted(winners.items())
+        if drop_tombstones:
+            entries = [(k, v) for k, v in entries if v is not None]
+        return entries
+
+    # -- read path ---------------------------------------------------------------
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Point read; records per-read block decode latency."""
+        key = bytes(key)
+        self.stats.reads += 1
+        found, value = self.memtable.get(key)
+        if found:
+            self.stats.read_decode_seconds.append(0.0)
+            return value
+        for level_tables in self.levels:
+            for table in level_tables:
+                before = table.stats.blocks_read
+                found, value, decode_seconds = table.get(key)
+                if table.stats.blocks_read > before:
+                    self.stats.blocks_decompressed += (
+                        table.stats.blocks_read - before
+                    )
+                if found:
+                    self.stats.read_decode_seconds.append(decode_seconds)
+                    return value
+        self.stats.read_decode_seconds.append(0.0)
+        return None
+
+    def scan_range(self, start: bytes, end: bytes):
+        """Yield (key, value) with start <= key < end, newest value wins.
+
+        Merges the memtable and every SST; tombstoned keys are omitted.
+        """
+        start, end = bytes(start), bytes(end)
+        winners: Dict[bytes, Optional[bytes]] = {}
+        for key, value in self.memtable.sorted_entries():
+            if start <= key < end:
+                winners[key] = value
+        for level_tables in self.levels:
+            for table in level_tables:
+                if not table.block_count:
+                    continue
+                for key, value in table.scan_range(start, end):
+                    if key not in winners:
+                        winners[key] = value
+        for key in sorted(winners):
+            value = winners[key]
+            if value is not None:
+                yield key, value
+
+    def total_decompress_counters(self) -> StageCounters:
+        """All decompression work so far: retired tables plus live ones."""
+        total = self.stats.decompress_counters.copy()
+        for level_tables in self.levels:
+            for table in level_tables:
+                total.merge(table.stats.decompress_counters)
+        return total
+
+    @property
+    def sst_count(self) -> int:
+        return sum(len(tables) for tables in self.levels)
+
+    @property
+    def bloom_skips(self) -> int:
+        """Point reads answered 'absent' by bloom filters, fleet-wide."""
+        return sum(
+            table.stats.bloom_skips
+            for level_tables in self.levels
+            for table in level_tables
+        )
+
+    @property
+    def block_cache_hits(self) -> int:
+        return sum(
+            table.stats.cache_hits
+            for level_tables in self.levels
+            for table in level_tables
+        )

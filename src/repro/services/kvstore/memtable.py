@@ -1,0 +1,53 @@
+"""In-memory write buffer for the LSM store."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: sentinel value marking a deletion (tombstones survive until compaction
+#: of the bottom level, like RocksDB's delete markers)
+TOMBSTONE = None
+
+
+class MemTable:
+    """Sorted-on-demand write buffer with approximate memory accounting."""
+
+    def __init__(self, capacity_bytes: int = 1 << 20) -> None:
+        self.capacity_bytes = capacity_bytes
+        self._entries: Dict[bytes, Optional[bytes]] = {}
+        self._approximate_bytes = 0
+
+    def put(self, key: bytes, value: Optional[bytes]) -> None:
+        """Insert or overwrite; ``value=None`` writes a tombstone."""
+        previous = self._entries.get(key)
+        if key in self._entries:
+            self._approximate_bytes -= len(key) + (len(previous) if previous else 0)
+        self._entries[key] = value
+        self._approximate_bytes += len(key) + (len(value) if value else 0)
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes]]:
+        """Returns (found, value); a found tombstone is (True, None)."""
+        if key in self._entries:
+            return True, self._entries[key]
+        return False, None
+
+    @property
+    def size_bytes(self) -> int:
+        return self._approximate_bytes
+
+    @property
+    def entry_count(self) -> int:
+        return len(self._entries)
+
+    def is_full(self) -> bool:
+        return self._approximate_bytes >= self.capacity_bytes
+
+    def sorted_entries(self) -> List[Tuple[bytes, Optional[bytes]]]:
+        """All entries in key order, ready for SST building."""
+        return sorted(self._entries.items())
+
+    def __iter__(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        return iter(self.sorted_entries())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,311 @@
+"""Sorted Sequence Table files with block-granular compression.
+
+"each SST file is broken into a number of blocks ... and compressed in a
+block granularity. ... To read certain data in a block, the entire block
+needs to be decompressed" (Section IV-E). The block index maps first keys
+to block offsets so a point read touches exactly one block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from repro.codecs import Compressor, get_codec
+from repro.codecs.base import StageCounters
+from repro.codecs.varint import read_uvarint, write_uvarint
+from repro.perfmodel import DEFAULT_MACHINE, MachineModel
+from repro.services.kvstore.blockcache import BlockCache
+from repro.services.kvstore.bloom import BloomFilter
+
+_TOMBSTONE_FLAG = 1
+
+
+@dataclass
+class SSTableStats:
+    """Compression work performed building/reading one SST."""
+
+    compress_counters: StageCounters = field(default_factory=StageCounters)
+    decompress_counters: StageCounters = field(default_factory=StageCounters)
+    blocks_written: int = 0
+    blocks_read: int = 0
+    raw_bytes: int = 0
+    stored_bytes: int = 0
+    #: reads answered "absent" by the bloom filter without touching a block
+    bloom_skips: int = 0
+    #: reads served from the decompressed-block cache
+    cache_hits: int = 0
+
+
+def _encode_entry(out: bytearray, key: bytes, value: Optional[bytes]) -> None:
+    write_uvarint(out, len(key))
+    out.extend(key)
+    out.append(_TOMBSTONE_FLAG if value is None else 0)
+    if value is not None:
+        write_uvarint(out, len(value))
+        out.extend(value)
+
+
+def _decode_entries(block: bytes) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+    pos = 0
+    while pos < len(block):
+        klen, pos = read_uvarint(block, pos)
+        key = block[pos : pos + klen]
+        pos += klen
+        flag = block[pos]
+        pos += 1
+        if flag & _TOMBSTONE_FLAG:
+            yield key, None
+        else:
+            vlen, pos = read_uvarint(block, pos)
+            yield key, block[pos : pos + vlen]
+            pos += vlen
+
+
+class SSTable:
+    """One immutable sorted file: compressed blocks + first-key index."""
+
+    def __init__(
+        self,
+        blocks: List[bytes],
+        index: List[bytes],
+        codec_name: str,
+        level: int,
+        stats: SSTableStats,
+    ) -> None:
+        self._blocks = blocks
+        self._index = index  # first key of each block
+        self.codec_name = codec_name
+        self.level = level
+        self.stats = stats
+        self.entry_count = 0  # filled by build()
+        self._cache: Optional[BlockCache] = None
+        self._bloom: Optional[BloomFilter] = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        entries: List[Tuple[bytes, Optional[bytes]]],
+        codec: Optional[Compressor] = None,
+        level: int = 1,
+        block_size: int = 16384,
+        machine: MachineModel = DEFAULT_MACHINE,
+        bloom_bits_per_key: int = 10,
+        block_cache: Optional[BlockCache] = None,
+    ) -> "SSTable":
+        """Build an SST from sorted (key, value-or-tombstone) entries.
+
+        ``bloom_bits_per_key=0`` disables the bloom filter; ``block_cache``
+        (shared across tables) serves repeated reads without decompression.
+        """
+        codec = codec if codec is not None else get_codec("zstd")
+        stats = SSTableStats()
+        blocks: List[bytes] = []
+        index: List[bytes] = []
+        current = bytearray()
+        first_key: Optional[bytes] = None
+        previous_key: Optional[bytes] = None
+
+        def flush_block() -> None:
+            nonlocal current, first_key
+            if not current:
+                return
+            raw = bytes(current)
+            result = codec.compress(raw, level)
+            stats.compress_counters.merge(result.counters)
+            stats.blocks_written += 1
+            stats.raw_bytes += len(raw)
+            stats.stored_bytes += len(result.data)
+            blocks.append(result.data)
+            index.append(first_key)
+            current = bytearray()
+            first_key = None
+
+        for key, value in entries:
+            if previous_key is not None and key < previous_key:
+                raise ValueError("entries must be sorted by key")
+            previous_key = key
+            if first_key is None:
+                first_key = key
+            _encode_entry(current, key, value)
+            if len(current) >= block_size:
+                flush_block()
+        flush_block()
+        table = cls(blocks, index, codec.name, level, stats)
+        table.entry_count = len(entries)
+        table._machine = machine
+        table._codec = codec
+        table._cache = block_cache
+        if bloom_bits_per_key > 0 and entries:
+            bloom = BloomFilter(len(entries), bloom_bits_per_key)
+            for key, __ in entries:
+                bloom.add(key)
+            table._bloom = bloom
+        else:
+            table._bloom = None
+        return table
+
+    # -- reads ----------------------------------------------------------------
+
+    def _locate_block(self, key: bytes) -> Optional[int]:
+        """Index of the block that could contain ``key`` (binary search)."""
+        if not self._index or key < self._index[0]:
+            return None
+        low, high = 0, len(self._index) - 1
+        while low < high:
+            mid = (low + high + 1) // 2
+            if self._index[mid] <= key:
+                low = mid
+            else:
+                high = mid - 1
+        return low
+
+    def get(self, key: bytes) -> Tuple[bool, Optional[bytes], float]:
+        """Point lookup: (found, value, block_decode_seconds)."""
+        if self._bloom is not None and not self._bloom.might_contain(key):
+            self.stats.bloom_skips += 1
+            return False, None, 0.0
+        block_index = self._locate_block(key)
+        if block_index is None:
+            return False, None, 0.0
+        raw, decode_seconds = self._load_block(block_index)
+        for entry_key, value in _decode_entries(raw):
+            if entry_key == key:
+                return True, value, decode_seconds
+            if entry_key > key:
+                break
+        return False, None, decode_seconds
+
+    def _load_block(self, block_index: int) -> Tuple[bytes, float]:
+        """Fetch one decompressed block, through the block cache if any."""
+        if self._cache is not None:
+            cached = self._cache.get((id(self), block_index))
+            if cached is not None:
+                self.stats.cache_hits += 1
+                return cached, 0.0
+        result = self._codec.decompress(self._blocks[block_index])
+        self.stats.decompress_counters.merge(result.counters)
+        self.stats.blocks_read += 1
+        decode_seconds = self._machine.decompress_seconds(
+            self.codec_name, result.counters
+        )
+        if self._cache is not None:
+            self._cache.put((id(self), block_index), result.data)
+        return result.data, decode_seconds
+
+    def scan(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Iterate every entry in key order (used by compaction)."""
+        for block_index, block in enumerate(self._blocks):
+            result = self._codec.decompress(block)
+            self.stats.decompress_counters.merge(result.counters)
+            self.stats.blocks_read += 1
+            yield from _decode_entries(result.data)
+
+    def scan_range(
+        self, start: bytes, end: bytes
+    ) -> Iterator[Tuple[bytes, Optional[bytes]]]:
+        """Iterate entries with ``start <= key < end``.
+
+        Only blocks overlapping the range are decompressed -- the range-read
+        analogue of the point-read block economics in Fig. 13.
+        """
+        if start >= end or not self._index:
+            return
+        first = self._locate_block(start)
+        first = 0 if first is None else first
+        for block_index in range(first, len(self._blocks)):
+            if self._index[block_index] >= end:
+                break
+            raw, __ = self._load_block(block_index)
+            for key, value in _decode_entries(raw):
+                if key >= end:
+                    return
+                if key >= start:
+                    yield key, value
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def stored_bytes(self) -> int:
+        return self.stats.stored_bytes
+
+    @property
+    def key_range(self) -> Tuple[bytes, bytes]:
+        """(first key, last block's first key) -- coarse range bound."""
+        return self._index[0], self._index[-1]
+
+    # -- file serialization ----------------------------------------------------
+
+    _FILE_MAGIC = b"RSST"
+
+    def to_bytes(self) -> bytes:
+        """Serialize the SST as a self-contained file image.
+
+        Layout: magic | codec name | level | entry count | per block
+        (first key | compressed block). Blooms are not stored: they need
+        every key, so ``from_bytes(rebuild_bloom=True)`` reconstructs one
+        with a full scan, as storage engines do when the filter block is
+        missing.
+        """
+        out = bytearray(self._FILE_MAGIC)
+        name = self.codec_name.encode()
+        out.append(len(name))
+        out.extend(name)
+        write_uvarint(out, self.level + 64)  # levels can be negative
+        write_uvarint(out, self.entry_count)
+        write_uvarint(out, len(self._blocks))
+        for first_key, block in zip(self._index, self._blocks):
+            write_uvarint(out, len(first_key))
+            out.extend(first_key)
+            write_uvarint(out, len(block))
+            out.extend(block)
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(
+        cls,
+        payload: bytes,
+        machine: MachineModel = DEFAULT_MACHINE,
+        block_cache: Optional[BlockCache] = None,
+        rebuild_bloom: bool = False,
+        bloom_bits_per_key: int = 10,
+    ) -> "SSTable":
+        """Load an SST file image produced by :meth:`to_bytes`."""
+        from repro.codecs.base import CorruptDataError
+
+        if payload[:4] != cls._FILE_MAGIC:
+            raise CorruptDataError("bad SST file magic")
+        pos = 4
+        name_len = payload[pos]
+        pos += 1
+        codec_name = payload[pos : pos + name_len].decode()
+        pos += name_len
+        level_biased, pos = read_uvarint(payload, pos)
+        entry_count, pos = read_uvarint(payload, pos)
+        block_count, pos = read_uvarint(payload, pos)
+        index: List[bytes] = []
+        blocks: List[bytes] = []
+        for __ in range(block_count):
+            key_len, pos = read_uvarint(payload, pos)
+            index.append(payload[pos : pos + key_len])
+            pos += key_len
+            block_len, pos = read_uvarint(payload, pos)
+            if pos + block_len > len(payload):
+                raise CorruptDataError("truncated SST file")
+            blocks.append(payload[pos : pos + block_len])
+            pos += block_len
+        table = cls(blocks, index, codec_name, level_biased - 64, SSTableStats())
+        table.entry_count = entry_count
+        table._machine = machine
+        table._codec = get_codec(codec_name)
+        table._cache = block_cache
+        if rebuild_bloom and entry_count:
+            bloom = BloomFilter(entry_count, bloom_bits_per_key)
+            for key, __ in table.scan():
+                bloom.add(key)
+            table._bloom = bloom
+        return table

@@ -1,0 +1,96 @@
+"""A minimal RPC channel with optional payload compression.
+
+Datacenter services "follow an RPC-based approach to interact with each
+other" (Section II-A); compressing RPC payloads trades compute (and latency)
+for network bytes. The channel models a link with fixed bandwidth and
+propagation delay and accounts both sides' compression work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.codecs import Compressor, get_codec
+from repro.codecs.base import StageCounters
+from repro.perfmodel import DEFAULT_MACHINE, MachineModel
+
+
+@dataclass
+class RpcStats:
+    """Per-channel accounting."""
+
+    messages: int = 0
+    raw_bytes: int = 0
+    wire_bytes: int = 0
+    compress_seconds: float = 0.0
+    decompress_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    compress_counters: StageCounters = field(default_factory=StageCounters)
+    decompress_counters: StageCounters = field(default_factory=StageCounters)
+
+    @property
+    def wire_ratio(self) -> float:
+        return self.raw_bytes / self.wire_bytes if self.wire_bytes else 1.0
+
+    @property
+    def total_latency_seconds(self) -> float:
+        return self.compress_seconds + self.transfer_seconds + self.decompress_seconds
+
+
+class Channel:
+    """A point-to-point link carrying optionally compressed messages."""
+
+    def __init__(
+        self,
+        bandwidth_bytes_per_second: float = 1.25e9,  # 10 Gb/s
+        propagation_seconds: float = 50e-6,
+        codec: Optional[Compressor] = None,
+        level: int = 1,
+        compress: bool = True,
+        machine: MachineModel = DEFAULT_MACHINE,
+    ) -> None:
+        self.bandwidth = bandwidth_bytes_per_second
+        self.propagation_seconds = propagation_seconds
+        self.codec = codec if codec is not None else get_codec("zstd")
+        self.level = level
+        self.compress = compress
+        self.machine = machine
+        self.stats = RpcStats()
+
+    def send(self, payload: bytes) -> Tuple[bytes, float]:
+        """Deliver ``payload``; returns (received_bytes, end_to_end_seconds).
+
+        End-to-end time = sender compression + wire transfer + receiver
+        decompression, the latency sum ADS1 must keep within its SLO.
+        """
+        self.stats.messages += 1
+        self.stats.raw_bytes += len(payload)
+        elapsed = self.propagation_seconds
+        if self.compress:
+            result = self.codec.compress(payload, self.level)
+            self.stats.compress_counters.merge(result.counters)
+            compress_seconds = self.machine.compress_seconds(
+                self.codec.name, result.counters
+            )
+            self.stats.compress_seconds += compress_seconds
+            elapsed += compress_seconds
+            wire = result.data
+        else:
+            wire = payload
+        self.stats.wire_bytes += len(wire)
+        transfer = len(wire) / self.bandwidth
+        self.stats.transfer_seconds += transfer
+        elapsed += transfer
+        if self.compress:
+            restored = self.codec.decompress(wire)
+            self.stats.decompress_counters.merge(restored.counters)
+            decompress_seconds = self.machine.decompress_seconds(
+                self.codec.name, restored.counters
+            )
+            self.stats.decompress_seconds += decompress_seconds
+            elapsed += decompress_seconds
+            received = restored.data
+        else:
+            received = wire
+        return received, elapsed

@@ -1,0 +1,32 @@
+"""Data Warehouse substrate: ORC-like columnar storage plus DW1-4 workflows.
+
+"Data Warehouse ... stores data in a columnar format called Optimized Row
+Columnar (ORC). Columns get encoded by the storage engine and then passed to
+Zstd in blocks of up to 256KB. Nearly all compression usage in Data
+Warehouse services is driven by reading and writing ORC files"
+(Section IV-B).
+"""
+
+from repro.services.warehouse.orc import OrcReader, OrcWriter, encode_column, decode_column
+from repro.services.warehouse.stripes import StripedOrcReader, StripedOrcWriter
+from repro.services.warehouse.workflows import (
+    IngestionJob,
+    MLDataJob,
+    ShuffleJob,
+    SparkJob,
+    WorkflowReport,
+)
+
+__all__ = [
+    "OrcWriter",
+    "OrcReader",
+    "StripedOrcWriter",
+    "StripedOrcReader",
+    "encode_column",
+    "decode_column",
+    "IngestionJob",
+    "ShuffleJob",
+    "SparkJob",
+    "MLDataJob",
+    "WorkflowReport",
+]

@@ -1,0 +1,80 @@
+"""Distribution summaries and report rendering tests."""
+
+import pytest
+
+from repro.analysis import (
+    format_series,
+    format_table,
+    log2_histogram,
+    percentile,
+    size_bucket_label,
+    summarize_sizes,
+)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestHistograms:
+    def test_bucket_labels(self):
+        assert size_bucket_label(512) == "512B"
+        assert size_bucket_label(2048) == "2KB"
+        assert size_bucket_label(1 << 21) == "2MB"
+
+    def test_log2_histogram_fractions_sum_to_one(self):
+        hist = log2_histogram([100, 200, 1000, 5000, 5000])
+        assert sum(frac for __, frac in hist) == pytest.approx(1.0)
+
+    def test_log2_histogram_buckets(self):
+        hist = dict(log2_histogram([1024, 1500, 2048]))
+        assert hist["1KB"] == pytest.approx(2 / 3)
+        assert hist["2KB"] == pytest.approx(1 / 3)
+
+    def test_empty_histogram(self):
+        assert log2_histogram([]) == []
+
+    def test_summarize_sizes(self):
+        sizes = [100] * 90 + [10000] * 10
+        summary = summarize_sizes(sizes)
+        assert summary["below_1kb"] == pytest.approx(0.9)
+        assert summary["p50"] == 100
+        assert summary["p99"] == 10000
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_sizes([])
+
+
+class TestRendering:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series("ratio", [("L1", 2.5), ("L3", 3.0)])
+        assert "series: ratio" in text
+        assert "L1 = 2.500" in text

@@ -1,0 +1,135 @@
+"""Bit-level reader/writer tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codecs.entropy.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_writer_produces_no_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_bit(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        assert writer.getvalue() == b"\x01"
+
+    def test_lsb_first_packing(self):
+        writer = BitWriter()
+        writer.write(0b1, 1)
+        writer.write(0b11, 2)
+        # bits: 1, then 11 -> byte 0b00000111
+        assert writer.getvalue() == b"\x07"
+
+    def test_cross_byte_value(self):
+        writer = BitWriter()
+        writer.write(0xABC, 12)
+        value = int.from_bytes(writer.getvalue(), "little")
+        assert value & 0xFFF == 0xABC
+
+    def test_masks_high_bits(self):
+        writer = BitWriter()
+        writer.write(0xFF, 4)  # only low 4 bits taken
+        assert writer.getvalue() == b"\x0f"
+
+    def test_zero_width_write_is_noop(self):
+        writer = BitWriter()
+        writer.write(123, 0)
+        assert writer.bit_length == 0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(1, -1)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            BitWriter().write(-1, 4)
+
+    def test_align_pads_with_zeros(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        writer.align_to_byte()
+        writer.write(0xFF, 8)
+        assert writer.getvalue() == b"\x01\xff"
+
+    def test_write_bytes_requires_alignment(self):
+        writer = BitWriter()
+        writer.write(1, 3)
+        with pytest.raises(ValueError):
+            writer.write_bytes(b"ab")
+
+    def test_bit_length_tracks_partial_bytes(self):
+        writer = BitWriter()
+        writer.write(0, 13)
+        assert writer.bit_length == 13
+        assert len(writer.getvalue()) == 2
+
+
+class TestBitReader:
+    def test_reads_back_written_fields(self):
+        writer = BitWriter()
+        fields = [(5, 3), (0, 1), (1023, 10), (77, 7)]
+        for value, bits in fields:
+            writer.write(value, bits)
+        reader = BitReader(writer.getvalue())
+        for value, bits in fields:
+            assert reader.read(bits) == value
+
+    def test_read_past_end_raises(self):
+        reader = BitReader(b"\x01")
+        reader.read(8)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_peek_does_not_consume(self):
+        reader = BitReader(b"\xa5")
+        assert reader.peek(4) == reader.peek(4)
+        assert reader.read(4) == 0x5
+
+    def test_peek_past_end_returns_zero_bits(self):
+        reader = BitReader(b"\x01")
+        assert reader.peek(16) == 1
+
+    def test_skip_after_peek(self):
+        reader = BitReader(b"\xff\x00")
+        reader.peek(8)
+        reader.skip(3)
+        assert reader.read(5) == 0b11111
+
+    def test_skip_more_than_buffered_raises(self):
+        reader = BitReader(b"\xff")
+        with pytest.raises(EOFError):
+            reader.skip(4)  # nothing peeked yet
+
+    def test_align_then_read_bytes(self):
+        writer = BitWriter()
+        writer.write(1, 3)
+        writer.align_to_byte()
+        writer.write_bytes(b"xyz")
+        reader = BitReader(writer.getvalue())
+        reader.read(3)
+        reader.align_to_byte()
+        assert reader.read_bytes(3) == b"xyz"
+
+    def test_read_bytes_unaligned_raises(self):
+        reader = BitReader(b"\xff\xff")
+        reader.read(3)
+        with pytest.raises(ValueError):
+            reader.read_bytes(1)
+
+    def test_bits_remaining(self):
+        reader = BitReader(b"\x00\x00")
+        assert reader.bits_remaining == 16
+        reader.read(5)
+        assert reader.bits_remaining == 11
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**20 - 1), st.integers(1, 20))))
+def test_roundtrip_random_fields(fields):
+    writer = BitWriter()
+    for value, bits in fields:
+        writer.write(value & ((1 << bits) - 1), bits)
+    reader = BitReader(writer.getvalue())
+    for value, bits in fields:
+        assert reader.read(bits) == value & ((1 << bits) - 1)

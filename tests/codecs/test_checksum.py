@@ -1,0 +1,81 @@
+"""Checksum tests against known vectors and the stdlib oracle."""
+
+import zlib as stdlib_zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codecs.checksum import adler32, crc32, xxh32
+
+
+class TestXXH32:
+    # Known-answer vectors from the reference xxHash implementation.
+    def test_empty(self):
+        assert xxh32(b"") == 0x02CC5D05
+
+    def test_empty_with_seed(self):
+        assert xxh32(b"", seed=1) == 0x0B2CB792
+
+    def test_hello_world(self):
+        assert xxh32(b"Hello World") == 0xB1FD16EE
+
+    def test_single_byte(self):
+        assert xxh32(b"a") == 0x550D7456
+
+    def test_exactly_16_bytes_uses_lane_path(self):
+        digest = xxh32(b"0123456789abcdef")
+        assert 0 <= digest <= 0xFFFFFFFF
+        assert digest != xxh32(b"0123456789abcdeF")
+
+    def test_long_input_differs_from_prefix(self):
+        data = b"x" * 1000
+        assert xxh32(data) != xxh32(data[:-1])
+
+    def test_seed_changes_digest(self):
+        assert xxh32(b"payload", seed=0) != xxh32(b"payload", seed=42)
+
+    def test_deterministic(self):
+        assert xxh32(b"same input") == xxh32(b"same input")
+
+
+class TestAdler32:
+    def test_empty_is_one(self):
+        assert adler32(b"") == 1
+
+    @pytest.mark.parametrize(
+        "data",
+        [b"a", b"hello world", b"x" * 6000, bytes(range(256)) * 40],
+    )
+    def test_matches_stdlib(self, data):
+        assert adler32(data) == stdlib_zlib.adler32(data)
+
+    def test_incremental_matches_oneshot(self):
+        data = b"abcdefgh" * 100
+        running = adler32(data[:300])
+        assert adler32(data[300:], running) == adler32(data)
+
+
+class TestCRC32:
+    def test_empty_is_zero(self):
+        assert crc32(b"") == 0
+
+    def test_known_vector(self):
+        # "123456789" -> 0xCBF43926 (the classic CRC-32 check value)
+        assert crc32(b"123456789") == 0xCBF43926
+
+    @pytest.mark.parametrize(
+        "data", [b"a", b"hello world", b"\x00" * 1000, bytes(range(256))]
+    )
+    def test_matches_stdlib(self, data):
+        assert crc32(data) == stdlib_zlib.crc32(data)
+
+    def test_incremental_matches_oneshot(self):
+        data = b"streaming data" * 64
+        running = crc32(data[:100])
+        assert crc32(data[100:], running) == crc32(data)
+
+
+@given(st.binary(max_size=2048))
+def test_adler_and_crc_match_stdlib_property(data):
+    assert adler32(data) == stdlib_zlib.adler32(data)
+    assert crc32(data) == stdlib_zlib.crc32(data)

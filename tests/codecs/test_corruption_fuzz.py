@@ -1,0 +1,70 @@
+"""Corruption robustness: decoders must fail *cleanly* on damaged input.
+
+Any byte flip, truncation, or random garbage must either round-trip (if it
+hit dead bits) or raise :class:`CodecError` -- never an arbitrary
+IndexError/KeyError/MemoryError escape.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs import CodecError, get_codec
+
+_CODEC_NAMES = ["zstd", "lz4", "zlib", "gzip"]
+
+
+def _attempt(codec, payload: bytes) -> None:
+    """Decode; only CodecError (or success) is acceptable."""
+    try:
+        codec.decompress(payload, max_output_bytes=1 << 22)
+    except CodecError:
+        pass
+
+
+@pytest.mark.parametrize("codec_name", _CODEC_NAMES)
+class TestByteFlips:
+    def test_every_single_byte_flip_fails_cleanly(self, codec_name):
+        codec = get_codec(codec_name)
+        data = b"".join(b"structured payload %d " % i for i in range(40))
+        blob = bytearray(codec.compress(data, codec.default_level).data)
+        for position in range(len(blob)):
+            corrupted = bytearray(blob)
+            corrupted[position] ^= 0xFF
+            _attempt(codec, bytes(corrupted))
+
+    def test_random_multi_byte_flips(self, codec_name):
+        codec = get_codec(codec_name)
+        rng = random.Random(99)
+        data = bytes(rng.getrandbits(8) for _ in range(2000)) + b"tail " * 100
+        blob = bytearray(codec.compress(data, codec.default_level).data)
+        for __ in range(60):
+            corrupted = bytearray(blob)
+            for __ in range(rng.randint(1, 6)):
+                corrupted[rng.randrange(len(corrupted))] ^= rng.randint(1, 255)
+            _attempt(codec, bytes(corrupted))
+
+    def test_all_truncations_fail_cleanly(self, codec_name):
+        codec = get_codec(codec_name)
+        data = b"truncation target " * 50
+        blob = codec.compress(data, codec.default_level).data
+        for length in range(len(blob)):
+            _attempt(codec, blob[:length])
+
+    def test_garbage_with_valid_magic(self, codec_name):
+        codec = get_codec(codec_name)
+        valid = codec.compress(b"seed", codec.default_level).data
+        rng = random.Random(7)
+        for __ in range(40):
+            garbage = valid[:6] + bytes(
+                rng.getrandbits(8) for _ in range(rng.randint(0, 200))
+            )
+            _attempt(codec, garbage)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=st.binary(max_size=400))
+def test_pure_garbage_never_escapes_codecerror(payload):
+    for codec_name in _CODEC_NAMES:
+        _attempt(get_codec(codec_name), payload)

@@ -1,0 +1,55 @@
+"""Decompression output-limit (bomb guard) tests."""
+
+import pytest
+
+from repro.codecs import get_codec
+from repro.codecs.base import OutputLimitExceeded
+
+
+@pytest.fixture(params=["zstd", "lz4", "zlib", "gzip"])
+def codec(request):
+    return get_codec(request.param)
+
+
+class TestOutputLimits:
+    def test_limit_above_size_passes(self, codec):
+        data = b"payload " * 200
+        blob = codec.compress(data, codec.default_level).data
+        result = codec.decompress(blob, max_output_bytes=len(data))
+        assert result.data == data
+
+    def test_limit_below_size_raises(self, codec):
+        data = b"payload " * 200
+        blob = codec.compress(data, codec.default_level).data
+        with pytest.raises(OutputLimitExceeded):
+            codec.decompress(blob, max_output_bytes=len(data) // 2)
+
+    def test_bomb_rejected_early(self, codec):
+        """A 4 MB RLE bomb must be rejected by a 64 KB budget."""
+        bomb_plain = b"\x00" * (4 << 20)
+        blob = codec.compress(bomb_plain, codec.default_level).data
+        assert len(blob) < 64 << 10  # it really is a bomb
+        with pytest.raises(OutputLimitExceeded):
+            codec.decompress(blob, max_output_bytes=64 << 10)
+
+    def test_no_limit_by_default(self, codec):
+        data = b"\x00" * (1 << 20)
+        blob = codec.compress(data, codec.default_level).data
+        assert codec.decompress(blob).data == data
+
+    def test_negative_limit_rejected(self, codec):
+        blob = codec.compress(b"x", codec.default_level).data
+        with pytest.raises(ValueError):
+            codec.decompress(blob, max_output_bytes=-1)
+
+    def test_zero_limit(self, codec):
+        blob = codec.compress(b"", codec.default_level).data
+        assert codec.decompress(blob, max_output_bytes=0).data == b""
+
+    def test_limit_does_not_stick_between_calls(self, codec):
+        data = b"payload " * 500
+        blob = codec.compress(data, codec.default_level).data
+        with pytest.raises(OutputLimitExceeded):
+            codec.decompress(blob, max_output_bytes=10)
+        # next call without a limit must succeed
+        assert codec.decompress(blob).data == data

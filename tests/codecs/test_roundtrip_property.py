@@ -1,0 +1,66 @@
+"""Cross-codec property tests: decompress(compress(x)) == x, always."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.codecs import LZ4Compressor, ZlibCompressor, ZstdCompressor
+
+_CODECS = [ZstdCompressor(), LZ4Compressor(), ZlibCompressor()]
+
+# Structured generators produce LZ-friendly inputs; raw binary covers the
+# incompressible path.
+_payload = st.one_of(
+    st.binary(max_size=2000),
+    st.builds(
+        lambda piece, reps: piece * reps,
+        st.binary(min_size=1, max_size=50),
+        st.integers(1, 60),
+    ),
+    st.builds(
+        lambda pieces: b"|".join(pieces),
+        st.lists(st.sampled_from([b"alpha", b"beta", b"gamma", b"x" * 20]), max_size=80),
+    ),
+)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=_payload)
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+def test_roundtrip_default_level(codec, data):
+    result = codec.compress(data)
+    assert codec.decompress(result.data).data == data
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=_payload, level_pick=st.integers(0, 100))
+@pytest.mark.parametrize("codec", _CODECS, ids=lambda c: c.name)
+def test_roundtrip_random_level(codec, data, level_pick):
+    levels = codec.levels()
+    level = levels[level_pick % len(levels)]
+    result = codec.compress(data, level)
+    assert codec.decompress(result.data).data == data
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    samples=st.lists(
+        st.binary(min_size=10, max_size=200), min_size=2, max_size=10
+    ),
+    data=st.binary(min_size=0, max_size=500),
+)
+def test_zstd_dictionary_roundtrip_property(samples, data):
+    from repro.codecs import train_dictionary
+
+    zstd = ZstdCompressor()
+    dictionary = train_dictionary(samples, max_size=2048)
+    blob = zstd.compress(data, 3, dictionary=dictionary.content)
+    assert zstd.decompress(blob.data, dictionary=dictionary.content).data == data
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(data=_payload)
+def test_ratio_never_catastrophic(data):
+    """Framed output must never blow up beyond input + bounded overhead."""
+    for codec in _CODECS:
+        result = codec.compress(data, codec.default_level)
+        assert len(result.data) <= len(data) + 64

@@ -1,0 +1,96 @@
+"""Linked-window streaming compression tests."""
+
+import pytest
+
+from repro.codecs import CodecError, get_codec
+from repro.codecs.streaming import (
+    StreamCompressor,
+    StreamDecompressor,
+    stream_roundtrip_ratio,
+)
+from repro.corpus import generate_records, generate_text
+
+
+@pytest.fixture()
+def zstd():
+    return get_codec("zstd")
+
+
+def _chunks(generator, count, size, seed=0):
+    return [generator(size, seed=seed + i) for i in range(count)]
+
+
+class TestStreamRoundtrip:
+    def test_chunks_roundtrip_in_order(self, zstd):
+        chunks = _chunks(generate_records, 6, 2048, seed=60)
+        compressor = StreamCompressor(zstd, level=3)
+        stream = compressor.compress_stream(chunks)
+        decompressor = StreamDecompressor(zstd)
+        assert list(decompressor.decompress_stream(stream)) == chunks
+
+    def test_single_chunk(self, zstd):
+        compressor = StreamCompressor(zstd)
+        record = compressor.compress_chunk(b"only chunk " * 50)
+        decompressor = StreamDecompressor(zstd)
+        chunk, pos = decompressor.decompress_chunk(record)
+        assert chunk == b"only chunk " * 50
+        assert pos == len(record)
+
+    def test_empty_chunks(self, zstd):
+        chunks = [b"", b"data " * 40, b""]
+        compressor = StreamCompressor(zstd)
+        stream = compressor.compress_stream(chunks)
+        assert list(StreamDecompressor(zstd).decompress_stream(stream)) == chunks
+
+    def test_out_of_order_replay_fails(self, zstd):
+        chunks = _chunks(generate_records, 3, 2048, seed=61)
+        compressor = StreamCompressor(zstd, level=3)
+        records = [compressor.compress_chunk(c) for c in chunks]
+        decompressor = StreamDecompressor(zstd)
+        # Skipping chunk 0 breaks the window chain for chunk 1.
+        with pytest.raises(CodecError):
+            decompressor.decompress_chunk(records[1])
+
+    def test_truncated_record_rejected(self, zstd):
+        compressor = StreamCompressor(zstd)
+        record = compressor.compress_chunk(b"payload " * 30)
+        with pytest.raises(CodecError):
+            next(StreamDecompressor(zstd).decompress_stream(record[:-3]))
+
+    def test_non_dictionary_codec_rejected(self):
+        with pytest.raises(CodecError):
+            StreamCompressor(get_codec("lz4"))
+        with pytest.raises(CodecError):
+            StreamDecompressor(get_codec("lz4"))
+
+    def test_invalid_window(self, zstd):
+        with pytest.raises(ValueError):
+            StreamCompressor(zstd, window_bytes=0)
+
+
+class TestWindowLinkingBenefit:
+    def test_linking_beats_independent_chunks(self, zstd):
+        """Cross-chunk redundancy: repeated text spread over small chunks."""
+        base = generate_text(3000, seed=62)
+        chunks = [base[i : i + 500] for i in range(0, len(base), 500)] * 3
+        linked = stream_roundtrip_ratio(zstd, chunks, level=3)
+        independent_bytes = sum(
+            len(zstd.compress(c, 3).data) for c in chunks
+        )
+        independent = sum(len(c) for c in chunks) / independent_bytes
+        assert linked > 1.3 * independent
+
+    def test_window_cap_limits_reach(self, zstd):
+        """A tiny linked window cannot reach far-back redundancy."""
+        base = generate_text(4000, seed=63)
+        filler = [generate_records(2000, seed=64 + i) for i in range(4)]
+        chunks = [base] + filler + [base]
+        wide = stream_roundtrip_ratio(zstd, chunks, window_bytes=1 << 16)
+        narrow = stream_roundtrip_ratio(zstd, chunks, window_bytes=1 << 10)
+        assert wide > narrow
+
+    def test_history_capped(self, zstd):
+        compressor = StreamCompressor(zstd, window_bytes=1024)
+        for i in range(8):
+            compressor.compress_chunk(generate_records(1000, seed=70 + i))
+        assert len(compressor._history) <= 1024

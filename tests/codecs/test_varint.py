@@ -1,0 +1,62 @@
+"""LEB128 varint tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codecs.base import CorruptDataError
+from repro.codecs.varint import read_uvarint, write_uvarint
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**32, 2**60])
+    def test_roundtrip(self, value):
+        out = bytearray()
+        write_uvarint(out, value)
+        decoded, pos = read_uvarint(bytes(out), 0)
+        assert decoded == value
+        assert pos == len(out)
+
+    def test_small_values_are_one_byte(self):
+        out = bytearray()
+        write_uvarint(out, 127)
+        assert len(out) == 1
+
+    def test_128_takes_two_bytes(self):
+        out = bytearray()
+        write_uvarint(out, 128)
+        assert len(out) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            write_uvarint(bytearray(), -1)
+
+    def test_truncated_stream_raises(self):
+        with pytest.raises(CorruptDataError):
+            read_uvarint(b"\x80", 0)
+
+    def test_overlong_stream_raises(self):
+        with pytest.raises(CorruptDataError):
+            read_uvarint(b"\x80" * 12 + b"\x01", 0)
+
+    def test_sequential_reads(self):
+        out = bytearray()
+        for value in (5, 500, 50000):
+            write_uvarint(out, value)
+        data = bytes(out)
+        pos = 0
+        for expected in (5, 500, 50000):
+            value, pos = read_uvarint(data, pos)
+            assert value == expected
+
+
+@given(st.lists(st.integers(0, 2**63 - 1), max_size=50))
+def test_roundtrip_property(values):
+    out = bytearray()
+    for value in values:
+        write_uvarint(out, value)
+    data = bytes(out)
+    pos = 0
+    for expected in values:
+        value, pos = read_uvarint(data, pos)
+        assert value == expected
+    assert pos == len(data)

@@ -1,0 +1,56 @@
+"""Shared fixtures: representative payloads and codec instances."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.codecs import LZ4Compressor, ZlibCompressor, ZstdCompressor
+
+
+def _random_bytes(size: int, seed: int) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.getrandbits(8) for _ in range(size))
+
+
+@pytest.fixture(scope="session")
+def payloads():
+    """Small representative inputs covering the interesting regimes."""
+    return {
+        "empty": b"",
+        "one_byte": b"x",
+        "short": b"hello world",
+        "rle": b"a" * 4096,
+        "periodic": b"abcd" * 1024,
+        "text": (
+            b"the quick brown fox jumps over the lazy dog while the cat naps. "
+        ) * 64,
+        "structured": b"".join(
+            b"row=%d|status=ok|region=use1|score=0.%03d\n" % (i, i % 997)
+            for i in range(120)
+        ),
+        "random": _random_bytes(4096, seed=99),
+        "mostly_random": _random_bytes(2048, seed=7) + b"pattern" * 64,
+        "binaryish": bytes(range(256)) * 8,
+    }
+
+
+@pytest.fixture(scope="session")
+def zstd():
+    return ZstdCompressor()
+
+
+@pytest.fixture(scope="session")
+def lz4():
+    return LZ4Compressor()
+
+
+@pytest.fixture(scope="session")
+def zlib_codec():
+    return ZlibCompressor()
+
+
+@pytest.fixture(scope="session")
+def all_codecs(zstd, lz4, zlib_codec):
+    return [zstd, lz4, zlib_codec]

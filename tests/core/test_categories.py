@@ -1,0 +1,95 @@
+"""Workload category and offload-guidance tests (paper Section VI)."""
+
+import pytest
+
+from repro.core.categories import (
+    OffloadAdvice,
+    WorkloadCategory,
+    WorkloadTraits,
+    classify_catalog,
+    classify_workload,
+    offload_recommendation,
+)
+
+
+class TestClassification:
+    def test_shuffle_is_compression_speed_sensitive(self):
+        traits = WorkloadTraits(262144, reads_per_write=0.4, latency_critical=True)
+        assert classify_workload(traits) == WorkloadCategory.COMPRESSION_SPEED_SENSITIVE
+
+    def test_kvstore_is_decompression_speed_sensitive(self):
+        traits = WorkloadTraits(16384, reads_per_write=6.0, latency_critical=True)
+        assert classify_workload(traits) == WorkloadCategory.DECOMPRESSION_SPEED_SENSITIVE
+
+    def test_ingestion_is_latency_insensitive(self):
+        traits = WorkloadTraits(262144, reads_per_write=0.2, latency_critical=False)
+        assert classify_workload(traits) == WorkloadCategory.LATENCY_INSENSITIVE
+
+    def test_cache_is_small_data_friendly(self):
+        traits = WorkloadTraits(
+            400, reads_per_write=20.0, latency_critical=True,
+            typed_small_messages=True,
+        )
+        assert classify_workload(traits) == WorkloadCategory.SMALL_DATA_FRIENDLY
+
+    def test_large_typed_messages_are_not_category_d(self):
+        traits = WorkloadTraits(
+            65536, reads_per_write=1.0, latency_critical=True,
+            typed_small_messages=True,
+        )
+        assert classify_workload(traits) != WorkloadCategory.SMALL_DATA_FRIENDLY
+
+    def test_catalog_covers_all_four_categories(self):
+        categories = {category for __, category in classify_catalog()}
+        assert categories == set(WorkloadCategory)
+
+    def test_catalog_specifics(self):
+        mapping = dict(classify_catalog())
+        assert mapping["DW1"] == WorkloadCategory.LATENCY_INSENSITIVE
+        assert mapping["DW2"] == WorkloadCategory.COMPRESSION_SPEED_SENSITIVE
+        assert mapping["KVSTORE1"] == WorkloadCategory.DECOMPRESSION_SPEED_SENSITIVE
+        assert mapping["CACHE1"] == WorkloadCategory.SMALL_DATA_FRIENDLY
+
+
+class TestOffloadGuidance:
+    _bulk = WorkloadTraits(262144, 0.2, False)  # category C
+    _small = WorkloadTraits(
+        400, 20.0, True, typed_small_messages=True
+    )  # category D
+
+    def test_bulk_workload_offloads(self):
+        advice = offload_recommendation(self._bulk, offload_overhead_seconds=20e-6)
+        assert advice.offload
+
+    def test_small_data_stays_on_cpu_with_far_accelerator(self):
+        advice = offload_recommendation(self._small, offload_overhead_seconds=20e-6)
+        assert not advice.offload
+        assert "overhead" in advice.reason
+
+    def test_small_data_offloads_to_on_chip_accelerator(self):
+        """Section VI-B: 'unless the accelerator is located very closely
+        (such as on-chip)'."""
+        advice = offload_recommendation(self._small, offload_overhead_seconds=0.5e-6)
+        assert advice.offload
+
+    def test_quantified_breakeven_blocks_bad_offload(self):
+        # 2 us of CPU work cannot win against 20 us of crossing overhead,
+        # whatever the category.
+        advice = offload_recommendation(
+            self._bulk, offload_overhead_seconds=20e-6,
+            gamma=10.0, cpu_seconds_per_call=2e-6,
+        )
+        assert not advice.offload
+
+    def test_quantified_breakeven_allows_good_offload(self):
+        # 1 ms of CPU work vs 20 us crossing: offload wins 10x.
+        advice = offload_recommendation(
+            self._bulk, offload_overhead_seconds=20e-6,
+            gamma=10.0, cpu_seconds_per_call=1e-3,
+        )
+        assert advice.offload
+
+    def test_advice_carries_category(self):
+        advice = offload_recommendation(self._small, 20e-6)
+        assert isinstance(advice, OffloadAdvice)
+        assert advice.category == WorkloadCategory.SMALL_DATA_FRIENDLY

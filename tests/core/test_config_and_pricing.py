@@ -1,0 +1,67 @@
+"""CompressionConfig, config grids, and the price book."""
+
+import pytest
+
+from repro.core import DEFAULT_PRICES, CompressionConfig, PriceBook
+from repro.core.config import config_grid
+
+
+class TestCompressionConfig:
+    def test_valid_config(self):
+        config = CompressionConfig("zstd", 3, 65536)
+        assert config.label() == "zstd-3@64KB"
+
+    def test_no_block_size_label(self):
+        assert CompressionConfig("lz4", 9).label() == "lz4-9"
+
+    def test_odd_block_size_label(self):
+        assert CompressionConfig("zstd", 1, 1000).label() == "zstd-1@1000B"
+
+    def test_unknown_algorithm_allowed_for_accelerators(self):
+        # pseudo-algorithms are resolved later by the engine
+        CompressionConfig("qat-like", 1)
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionConfig("zlib", 15)
+
+    def test_negative_block_size_rejected(self):
+        with pytest.raises(ValueError):
+            CompressionConfig("zstd", 3, -1)
+
+    def test_hashable_and_ordered(self):
+        configs = {CompressionConfig("zstd", 1), CompressionConfig("zstd", 1)}
+        assert len(configs) == 1
+        assert CompressionConfig("lz4", 1) < CompressionConfig("zstd", 1)
+
+
+class TestConfigGrid:
+    def test_grid_size(self):
+        grid = config_grid(["zstd", "lz4"], levels=[1, 3], block_sizes=[None, 4096])
+        assert len(grid) == 8
+
+    def test_grid_skips_invalid_levels(self):
+        grid = config_grid(["zlib"], levels=[1, 12])
+        assert len(grid) == 1
+
+    def test_grid_defaults_to_all_levels(self):
+        grid = config_grid(["zlib"])
+        assert len(grid) == 10  # levels 0..9
+
+
+class TestPriceBook:
+    def test_compute_core_second_positive(self):
+        assert DEFAULT_PRICES.compute_core_second > 0
+
+    def test_flash_costs_more_than_warm(self):
+        assert DEFAULT_PRICES.flash_byte_day > DEFAULT_PRICES.storage_byte_day
+
+    def test_accelerator_cheaper_than_instance(self):
+        assert (
+            DEFAULT_PRICES.accelerator_second
+            < DEFAULT_PRICES.ec2_instance_hourly / 3600
+        )
+
+    def test_custom_prices(self):
+        book = PriceBook(ec2_instance_hourly=1.0, ec2_instance_vcpus=10)
+        assert book.compute_core_second == pytest.approx(1.0 / 10 / 3600)

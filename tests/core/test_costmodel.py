@@ -1,0 +1,95 @@
+"""Cost model tests: equations (1)-(4) behaviour."""
+
+import pytest
+
+from repro.core import CostModel, CostParameters
+from repro.core.metrics import CompressionMetrics
+
+
+def _metrics(ratio=4.0, comp_speed=400e6, decomp_speed=1200e6, size=1 << 20):
+    return CompressionMetrics(
+        ratio=ratio,
+        compression_speed=comp_speed,
+        decompression_speed=decomp_speed,
+        input_bytes=size,
+        compressed_bytes=int(size / ratio),
+        block_count=1,
+        decode_seconds_per_block=size / decomp_speed,
+    )
+
+
+def _params(**overrides):
+    defaults = dict(
+        alpha_compute=1e-5, alpha_storage=1e-12, alpha_network=1e-11, beta=1.0,
+        retention_days=30.0,
+    )
+    defaults.update(overrides)
+    return CostParameters(**defaults)
+
+
+class TestEquations:
+    def test_compute_cost_inverse_in_speed(self):
+        """Equation (1): cost ~ Size / CompSpeed."""
+        model = CostModel(_params())
+        slow = model.evaluate(_metrics(comp_speed=100e6)).compute
+        fast = model.evaluate(_metrics(comp_speed=400e6)).compute
+        assert slow == pytest.approx(4 * fast)
+
+    def test_storage_cost_inverse_in_ratio(self):
+        """Equation (2): cost ~ Size / CompRatio."""
+        model = CostModel(_params())
+        low = model.evaluate(_metrics(ratio=2.0)).storage
+        high = model.evaluate(_metrics(ratio=8.0)).storage
+        assert low == pytest.approx(4 * high)
+
+    def test_storage_cost_scales_with_retention(self):
+        short = CostModel(_params(retention_days=1.0)).evaluate(_metrics())
+        long = CostModel(_params(retention_days=365.0)).evaluate(_metrics())
+        assert long.storage == pytest.approx(365 * short.storage)
+
+    def test_network_cost_inverse_in_ratio(self):
+        """Equation (3)."""
+        model = CostModel(_params())
+        low = model.evaluate(_metrics(ratio=2.0)).network
+        high = model.evaluate(_metrics(ratio=4.0)).network
+        assert low == pytest.approx(2 * high)
+
+    def test_beta_extrapolates_sample_to_service(self):
+        """Sampling rate beta scales every term by 1/beta."""
+        full = CostModel(_params(beta=1.0)).evaluate(_metrics())
+        sampled = CostModel(_params(beta=1e-3)).evaluate(_metrics())
+        assert sampled.total == pytest.approx(1000 * full.total)
+
+    def test_total_is_sum(self):
+        breakdown = CostModel(_params()).evaluate(_metrics())
+        assert breakdown.total == pytest.approx(
+            breakdown.compute + breakdown.storage + breakdown.network
+        )
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(_params(beta=0.0))
+
+    def test_reads_per_write_extension(self):
+        """Extension: read-heavy services can charge decompression compute."""
+        write_only = CostModel(_params(reads_per_write=0.0)).evaluate(_metrics())
+        read_heavy = CostModel(_params(reads_per_write=10.0)).evaluate(_metrics())
+        assert read_heavy.compute > write_only.compute
+
+
+class TestFromPriceBook:
+    def test_weights_zero_out_terms(self):
+        params = CostParameters.from_price_book(storage_weight=0.0)
+        model = CostModel(params)
+        assert model.evaluate(_metrics()).storage == 0.0
+
+    def test_network_weight_zero(self):
+        params = CostParameters.from_price_book(network_weight=0.0)
+        assert CostModel(params).evaluate(_metrics()).network == 0.0
+
+    def test_flash_storage_costs_more(self):
+        warm = CostParameters.from_price_book(storage_kind="warm")
+        flash = CostParameters.from_price_book(storage_kind="flash")
+        warm_cost = CostModel(warm).evaluate(_metrics()).storage
+        flash_cost = CostModel(flash).evaluate(_metrics()).storage
+        assert flash_cost > warm_cost

@@ -1,0 +1,66 @@
+"""Pareto frontier tests."""
+
+import pytest
+
+from repro.core import (
+    CompEngine,
+    CompOpt,
+    CostModel,
+    CostParameters,
+    MinCompressionSpeed,
+)
+from repro.core.config import config_grid
+from repro.corpus import generate_records
+
+
+@pytest.fixture(scope="module")
+def result():
+    engine = CompEngine([generate_records(16384, seed=50)])
+    model = CostModel(CostParameters.from_price_book(beta=1e-6))
+    opt = CompOpt(engine, model, [MinCompressionSpeed(150e6)])
+    return opt.optimize(config_grid(["zstd", "lz4", "zlib"], levels=[1, 3, 6, 9]))
+
+
+class TestParetoFrontier:
+    def test_frontier_nonempty_and_sorted(self, result):
+        frontier = result.pareto_frontier()
+        assert frontier
+        speeds = [r.metrics.compression_speed for r in frontier]
+        assert speeds == sorted(speeds)
+
+    def test_no_frontier_point_dominated(self, result):
+        frontier = result.pareto_frontier()
+        for point in frontier:
+            for other in result.ranked:
+                dominates = (
+                    other.metrics.compression_speed > point.metrics.compression_speed
+                    and other.metrics.ratio > point.metrics.ratio
+                )
+                assert not dominates
+
+    def test_every_candidate_dominated_by_or_on_frontier(self, result):
+        frontier = result.pareto_frontier()
+        for candidate in result.ranked:
+            covered = candidate in frontier or any(
+                f.metrics.compression_speed >= candidate.metrics.compression_speed
+                and f.metrics.ratio >= candidate.metrics.ratio
+                for f in frontier
+            )
+            assert covered
+
+    def test_frontier_trades_speed_for_ratio(self, result):
+        frontier = result.pareto_frontier()
+        if len(frontier) >= 2:
+            # ascending speed order implies descending ratio order
+            ratios = [r.metrics.ratio for r in frontier]
+            assert ratios == sorted(ratios, reverse=True)
+
+    def test_feasible_only_filter(self, result):
+        frontier = result.pareto_frontier(feasible_only=True)
+        assert all(r.feasible for r in frontier)
+
+    def test_custom_axes(self, result):
+        frontier = result.pareto_frontier(
+            x_metric="decompression_speed", y_metric="ratio"
+        )
+        assert frontier

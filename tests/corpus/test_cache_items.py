@@ -1,0 +1,75 @@
+"""Cache item generator tests: size skew and per-type redundancy."""
+
+import json
+
+import pytest
+
+from repro.analysis import summarize_sizes
+from repro.codecs import get_codec, train_dictionary
+from repro.corpus import CACHE1_TYPES, CACHE2_TYPES, generate_cache_items
+
+
+class TestItemGeneration:
+    def test_count_respected(self):
+        items = generate_cache_items(CACHE1_TYPES, 200, seed=1)
+        assert len(items) == 200
+
+    def test_types_come_from_spec(self):
+        items = generate_cache_items(CACHE1_TYPES, 100, seed=1)
+        names = {spec.name for spec in CACHE1_TYPES}
+        assert all(t in names for t, __ in items)
+
+    def test_deterministic(self):
+        a = generate_cache_items(CACHE2_TYPES, 50, seed=9)
+        b = generate_cache_items(CACHE2_TYPES, 50, seed=9)
+        assert a == b
+
+    def test_payloads_are_valid_json(self):
+        items = generate_cache_items(CACHE1_TYPES, 30, seed=2)
+        for __, payload in items:
+            assert json.loads(payload)["schema_version"] == 12
+
+
+class TestSizeDistribution:
+    """Figs 8-9: strongly skewed to <1KB with a long tail."""
+
+    @pytest.mark.parametrize("specs", [CACHE1_TYPES, CACHE2_TYPES], ids=["cache1", "cache2"])
+    def test_majority_below_1kb(self, specs):
+        items = generate_cache_items(specs, 600, seed=3)
+        summary = summarize_sizes([len(p) for __, p in items])
+        assert summary["below_1kb"] > 0.5
+
+    @pytest.mark.parametrize("specs", [CACHE1_TYPES, CACHE2_TYPES], ids=["cache1", "cache2"])
+    def test_long_tail_exists(self, specs):
+        items = generate_cache_items(specs, 600, seed=3)
+        sizes = [len(p) for __, p in items]
+        summary = summarize_sizes(sizes)
+        assert summary["p99"] > 4 * summary["p50"]
+
+    def test_cache2_items_smaller_than_cache1(self):
+        c1 = generate_cache_items(CACHE1_TYPES, 400, seed=4)
+        c2 = generate_cache_items(CACHE2_TYPES, 400, seed=4)
+        median1 = summarize_sizes([len(p) for __, p in c1])["p50"]
+        median2 = summarize_sizes([len(p) for __, p in c2])["p50"]
+        assert median2 < median1
+
+
+class TestPerTypeRedundancy:
+    def test_dictionary_helps_every_type(self):
+        """The property Fig. 10/11 relies on: typed items share structure."""
+        zstd = get_codec("zstd")
+        items = generate_cache_items(CACHE1_TYPES, 400, seed=5)
+        by_type = {}
+        for type_name, payload in items:
+            by_type.setdefault(type_name, []).append(payload)
+        for type_name, payloads in by_type.items():
+            if len(payloads) < 20:
+                continue
+            train, test = payloads[:-10], payloads[-10:]
+            dictionary = train_dictionary(train, max_size=4096)
+            plain = sum(len(zstd.compress(p, 3).data) for p in test)
+            dicted = sum(
+                len(zstd.compress(p, 3, dictionary=dictionary.content).data)
+                for p in test
+            )
+            assert dicted < plain, type_name

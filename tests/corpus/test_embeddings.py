@@ -1,0 +1,55 @@
+"""ADS1 request generator tests: model variance drives compressibility."""
+
+import json
+
+import pytest
+
+from repro.codecs import get_codec
+from repro.corpus import ADS_MODELS, generate_ads_request
+
+
+class TestModelSpecs:
+    def test_three_models_defined(self):
+        assert set(ADS_MODELS) == {"A", "B", "C"}
+
+    def test_model_a_is_largest(self):
+        assert ADS_MODELS["A"].request_size > ADS_MODELS["B"].request_size
+
+    def test_model_c_is_b_with_text_serialization(self):
+        b, c = ADS_MODELS["B"], ADS_MODELS["C"]
+        assert b.request_size == c.request_size
+        assert b.sparse_fraction == c.sparse_fraction
+        assert b.serialization == "binary" and c.serialization == "text"
+
+
+class TestRequests:
+    def test_deterministic(self):
+        assert generate_ads_request("A", seed=3) == generate_ads_request("A", seed=3)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            generate_ads_request("Z")
+
+    def test_binary_request_roughly_target_size(self):
+        payload = generate_ads_request("B", seed=0)
+        assert 0.7 * ADS_MODELS["B"].request_size < len(payload) < 1.5 * ADS_MODELS["B"].request_size
+
+    def test_text_request_is_json(self):
+        payload = generate_ads_request("C", seed=0)
+        decoded = json.loads(payload)
+        assert decoded["header"]["model"] == "C"
+        assert len(decoded["dense"]) > 0
+
+    def test_sparser_model_compresses_better(self):
+        """Section IV-D: more sparse embeddings -> higher ratio."""
+        zstd = get_codec("zstd")
+        ratio_a = zstd.compress(generate_ads_request("A", seed=1), 3).ratio
+        ratio_b = zstd.compress(generate_ads_request("B", seed=1), 3).ratio
+        assert ratio_a > ratio_b
+
+    def test_serialization_changes_compressibility(self):
+        """Model C (text) compresses differently from model B (binary)."""
+        zstd = get_codec("zstd")
+        ratio_b = zstd.compress(generate_ads_request("B", seed=1), 3).ratio
+        ratio_c = zstd.compress(generate_ads_request("C", seed=1), 3).ratio
+        assert abs(ratio_b - ratio_c) / ratio_b > 0.10

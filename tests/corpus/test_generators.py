@@ -1,0 +1,84 @@
+"""Corpus generator tests: determinism, sizes, and compressibility bands."""
+
+import pytest
+
+from repro.codecs import get_codec
+from repro.corpus import (
+    SILESIA_FILES,
+    generate_binary,
+    generate_logs,
+    generate_records,
+    generate_telemetry,
+    generate_text,
+    generate_xml,
+    silesia_like_corpus,
+)
+
+_GENERATORS = {
+    "text": generate_text,
+    "records": generate_records,
+    "xml": generate_xml,
+    "binary": generate_binary,
+    "logs": generate_logs,
+    "telemetry": generate_telemetry,
+}
+
+
+@pytest.mark.parametrize("name,generator", _GENERATORS.items())
+class TestGeneratorContract:
+    def test_exact_size(self, name, generator):
+        assert len(generator(5000, seed=1)) == 5000
+
+    def test_deterministic(self, name, generator):
+        assert generator(2000, seed=7) == generator(2000, seed=7)
+
+    def test_seed_changes_output(self, name, generator):
+        assert generator(2000, seed=1) != generator(2000, seed=2)
+
+
+class TestCompressibilityBands:
+    """Fig. 1 depends on the file classes spanning distinct ratio bands."""
+
+    @pytest.fixture(scope="class")
+    def ratios(self):
+        zstd = get_codec("zstd")
+        out = {}
+        for name, generator in _GENERATORS.items():
+            data = generator(32768, seed=42)
+            out[name] = zstd.compress(data, 3).ratio
+        return out
+
+    def test_text_band(self, ratios):
+        assert 2.0 < ratios["text"] < 5.0
+
+    def test_records_band(self, ratios):
+        assert 3.0 < ratios["records"] < 8.0
+
+    def test_xml_band(self, ratios):
+        assert 5.0 < ratios["xml"] < 15.0
+
+    def test_binary_band(self, ratios):
+        assert 1.2 < ratios["binary"] < 2.6
+
+    def test_logs_band(self, ratios):
+        assert 4.0 < ratios["logs"] < 10.0
+
+    def test_telemetry_band(self, ratios):
+        assert 1.3 < ratios["telemetry"] < 4.0
+
+    def test_order_of_magnitude_spread(self, ratios):
+        """The paper's Fig. 1 point: data type dominates the metrics."""
+        assert max(ratios.values()) / min(ratios.values()) > 3.0
+
+
+class TestSilesiaBundle:
+    def test_contains_all_classes(self):
+        corpus = silesia_like_corpus(4096)
+        assert set(corpus) == set(SILESIA_FILES)
+
+    def test_file_sizes(self):
+        corpus = silesia_like_corpus(4096)
+        assert all(len(data) == 4096 for data in corpus.values())
+
+    def test_deterministic_for_seed(self):
+        assert silesia_like_corpus(2048, seed=5) == silesia_like_corpus(2048, seed=5)

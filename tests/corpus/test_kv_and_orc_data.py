@@ -1,0 +1,60 @@
+"""KV record and columnar table generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.corpus import generate_kv_records, generate_table
+from repro.corpus.orcdata import ColumnSpec, DEFAULT_SCHEMA
+
+
+class TestKVRecords:
+    def test_count(self):
+        assert len(generate_kv_records(500, seed=1)) == 500
+
+    def test_sorted_by_key(self):
+        records = generate_kv_records(500, seed=1)
+        keys = [k for k, __ in records]
+        assert keys == sorted(keys)
+
+    def test_keys_share_prefixes(self):
+        records = generate_kv_records(100, seed=2)
+        assert all(k.startswith(b"svc7/shard") for k, __ in records)
+
+    def test_values_nonempty_and_bounded(self):
+        records = generate_kv_records(200, seed=3)
+        assert all(0 < len(v) < 500 for __, v in records)
+
+    def test_deterministic(self):
+        assert generate_kv_records(50, seed=4) == generate_kv_records(50, seed=4)
+
+
+class TestColumnarTables:
+    def test_default_schema_columns(self):
+        table = generate_table(100, seed=1)
+        assert set(table) == {spec.name for spec in DEFAULT_SCHEMA}
+
+    def test_row_counts_align(self):
+        table = generate_table(250, seed=1)
+        assert all(len(v) == 250 for v in table.values())
+
+    def test_id_column_monotone(self):
+        table = generate_table(500, seed=2)
+        ids = np.asarray(table["event_id"])
+        assert np.all(np.diff(ids) > 0)
+
+    def test_string_column_low_cardinality(self):
+        table = generate_table(1000, seed=3)
+        assert len(set(table["event_type"])) <= 12
+
+    def test_bool_column(self):
+        table = generate_table(300, seed=4)
+        assert table["is_organic"].dtype == np.bool_
+
+    def test_custom_schema(self):
+        schema = [ColumnSpec("x", "int_sequence"), ColumnSpec("y", "float")]
+        table = generate_table(50, seed=5, schema=schema)
+        assert set(table) == {"x", "y"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            generate_table(10, schema=[ColumnSpec("bad", "complex128")])

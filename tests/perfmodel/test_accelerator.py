@@ -1,0 +1,60 @@
+"""Hardware accelerator (CompSim gamma) model tests."""
+
+import pytest
+
+from repro.codecs import get_codec
+from repro.corpus import generate_text
+from repro.perfmodel import DEFAULT_MACHINE, HardwareAccelerator
+
+
+@pytest.fixture(scope="module")
+def zstd_result():
+    codec = get_codec("zstd")
+    data = generate_text(16384, seed=5)
+    comp = codec.compress(data, 1)
+    decomp = codec.decompress(comp.data)
+    return comp, decomp
+
+
+class TestHardwareAccelerator:
+    def test_gamma_speeds_up_compression(self, zstd_result):
+        comp, __ = zstd_result
+        accel = HardwareAccelerator("qat-like", get_codec("zstd"), gamma=10.0)
+        software = DEFAULT_MACHINE.compress_seconds("zstd", comp.counters)
+        assert accel.compress_seconds(comp.counters) == pytest.approx(software / 10)
+
+    def test_separate_decompress_gamma(self, zstd_result):
+        __, decomp = zstd_result
+        accel = HardwareAccelerator(
+            "asym", get_codec("zstd"), gamma=10.0, decompress_gamma=4.0
+        )
+        software = DEFAULT_MACHINE.decompress_seconds("zstd", decomp.counters)
+        assert accel.decompress_seconds(decomp.counters) == pytest.approx(software / 4)
+
+    def test_offload_overhead_added_per_call(self, zstd_result):
+        comp, __ = zstd_result
+        base = HardwareAccelerator("near", get_codec("zstd"), gamma=10.0)
+        far = HardwareAccelerator(
+            "far", get_codec("zstd"), gamma=10.0, offload_overhead_seconds=1e-3
+        )
+        assert far.compress_seconds(comp.counters) == pytest.approx(
+            base.compress_seconds(comp.counters) + 1e-3
+        )
+
+    def test_offload_overhead_can_nullify_benefit_for_small_blocks(self):
+        """Section VI-B: offloading small blocks can lose to the CPU."""
+        codec = get_codec("zstd")
+        small = codec.compress(generate_text(512, seed=9), 1)
+        accel = HardwareAccelerator(
+            "pcie-far", codec, gamma=10.0, offload_overhead_seconds=50e-6
+        )
+        cpu_seconds = DEFAULT_MACHINE.compress_seconds("zstd", small.counters)
+        assert accel.compress_seconds(small.counters) > cpu_seconds
+
+    def test_speed_helpers(self, zstd_result):
+        comp, decomp = zstd_result
+        accel = HardwareAccelerator("fast", get_codec("zstd"), gamma=10.0)
+        assert accel.compress_speed(comp.counters) == pytest.approx(
+            10 * DEFAULT_MACHINE.compress_speed("zstd", comp.counters)
+        )
+        assert accel.decompress_speed(decomp.counters) > 0

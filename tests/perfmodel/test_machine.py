@@ -1,0 +1,159 @@
+"""Machine model tests: calibration anchors and stage attribution."""
+
+import pytest
+
+from repro.codecs import get_codec
+from repro.codecs.base import StageCounters
+from repro.corpus import generate_text
+from repro.perfmodel import DEFAULT_MACHINE, CostCoefficients, MachineModel
+
+
+@pytest.fixture(scope="module")
+def text_results():
+    """(codec_name -> (compress result, decompress result)) on one text."""
+    data = generate_text(32768, seed=11)
+    results = {}
+    for name in ("zstd", "lz4", "zlib"):
+        codec = get_codec(name)
+        comp = codec.compress(data, codec.default_level)
+        decomp = codec.decompress(comp.data)
+        results[name] = (comp, decomp)
+    return results
+
+
+class TestCycleAccounting:
+    def test_zero_counters_cost_only_overhead(self):
+        counters = StageCounters()
+        cycles = DEFAULT_MACHINE.compress_cycles("zstd", counters)
+        assert cycles == pytest.approx(
+            DEFAULT_MACHINE.coefficients["zstd"].call_overhead
+        )
+
+    def test_more_work_costs_more(self):
+        light = StageCounters(bytes_in=100, hash_probes=100)
+        heavy = StageCounters(bytes_in=100, hash_probes=10000)
+        assert DEFAULT_MACHINE.compress_cycles("zstd", heavy) > (
+            DEFAULT_MACHINE.compress_cycles("zstd", light)
+        )
+
+    def test_unknown_codec_uses_default_coefficients(self):
+        counters = StageCounters(bytes_in=1000)
+        assert DEFAULT_MACHINE.compress_cycles("mystery", counters) > 0
+
+    def test_breakdown_sums_to_total(self, text_results):
+        comp, __ = text_results["zstd"]
+        breakdown = DEFAULT_MACHINE.compress_breakdown("zstd", comp.counters)
+        assert breakdown.total == pytest.approx(
+            DEFAULT_MACHINE.compress_cycles("zstd", comp.counters)
+        )
+        assert breakdown.match_finding > 0
+        assert breakdown.entropy > 0
+
+    def test_speed_inverse_of_cycles(self, text_results):
+        comp, __ = text_results["zstd"]
+        speed = DEFAULT_MACHINE.compress_speed("zstd", comp.counters)
+        seconds = DEFAULT_MACHINE.compress_seconds("zstd", comp.counters)
+        assert speed == pytest.approx(comp.counters.bytes_in / seconds)
+
+
+class TestCalibrationAnchors:
+    """Modeled speeds must land in published-ballpark bands on typical text."""
+
+    def test_zstd_default_compress_band(self, text_results):
+        comp, __ = text_results["zstd"]
+        speed = DEFAULT_MACHINE.compress_speed("zstd", comp.counters) / 1e6
+        assert 150 < speed < 900
+
+    def test_zstd_decompress_band(self, text_results):
+        __, decomp = text_results["zstd"]
+        speed = DEFAULT_MACHINE.decompress_speed("zstd", decomp.counters) / 1e6
+        assert 700 < speed < 3000
+
+    def test_lz4_compress_band(self, text_results):
+        comp, __ = text_results["lz4"]
+        speed = DEFAULT_MACHINE.compress_speed("lz4", comp.counters) / 1e6
+        assert 400 < speed < 1600
+
+    def test_lz4_decompress_band(self, text_results):
+        __, decomp = text_results["lz4"]
+        speed = DEFAULT_MACHINE.decompress_speed("lz4", decomp.counters) / 1e6
+        assert 1500 < speed < 8000
+
+    def test_zlib_compress_band(self, text_results):
+        comp, __ = text_results["zlib"]
+        speed = DEFAULT_MACHINE.compress_speed("zlib", comp.counters) / 1e6
+        assert 15 < speed < 200
+
+    def test_zlib_decompress_band(self, text_results):
+        __, decomp = text_results["zlib"]
+        speed = DEFAULT_MACHINE.decompress_speed("zlib", decomp.counters) / 1e6
+        assert 150 < speed < 800
+
+    def test_decompress_speed_ordering(self, text_results):
+        """Fig. 1's universal ordering: lz4 > zstd > zlib on decode."""
+        speeds = {
+            name: DEFAULT_MACHINE.decompress_speed(name, decomp.counters)
+            for name, (comp, decomp) in text_results.items()
+        }
+        assert speeds["lz4"] > speeds["zstd"] > speeds["zlib"]
+
+    def test_compress_speed_ordering(self, text_results):
+        speeds = {
+            name: DEFAULT_MACHINE.compress_speed(name, comp.counters)
+            for name, (comp, decomp) in text_results.items()
+        }
+        assert speeds["lz4"] > speeds["zstd"] > speeds["zlib"]
+
+    def test_decompression_faster_than_compression(self, text_results):
+        """Section III-D: decompression is 3x-100x faster than compression."""
+        for name, (comp, decomp) in text_results.items():
+            comp_speed = DEFAULT_MACHINE.compress_speed(name, comp.counters)
+            decomp_speed = DEFAULT_MACHINE.decompress_speed(name, decomp.counters)
+            assert decomp_speed > 2.5 * comp_speed, name
+
+
+class TestLevelSpeedMonotonicity:
+    def test_zstd_levels_get_slower(self):
+        data = generate_text(16384, seed=3)
+        codec = get_codec("zstd")
+        speeds = []
+        for level in (1, 3, 6, 9, 15, 19):
+            result = codec.compress(data, level)
+            speeds.append(DEFAULT_MACHINE.compress_speed("zstd", result.counters))
+        # strictly ordered from fast to slow across the strategy ladder
+        for faster, slower in zip(speeds, speeds[1:]):
+            assert faster > slower
+
+    def test_match_finding_share_grows_with_level(self):
+        """Fig. 7: match finding dominates at high levels (~80% at L7),
+        entropy at low levels (~30% at L1)."""
+        data = generate_text(16384, seed=3)
+        codec = get_codec("zstd")
+        low = codec.compress(data, 1)
+        high = codec.compress(data, 7)
+        share_low = DEFAULT_MACHINE.compress_breakdown(
+            "zstd", low.counters
+        ).match_finding_share
+        share_high = DEFAULT_MACHINE.compress_breakdown(
+            "zstd", high.counters
+        ).match_finding_share
+        assert share_high > share_low
+
+
+class TestCustomMachine:
+    def test_frequency_scales_seconds_not_cycles(self):
+        counters = StageCounters(bytes_in=10000, positions_scanned=10000)
+        slow = MachineModel(frequency_hz=1e9)
+        fast = MachineModel(frequency_hz=4e9)
+        assert slow.compress_cycles("zstd", counters) == pytest.approx(
+            fast.compress_cycles("zstd", counters)
+        )
+        assert slow.compress_seconds("zstd", counters) == pytest.approx(
+            4 * fast.compress_seconds("zstd", counters)
+        )
+
+    def test_override_coefficients(self):
+        machine = MachineModel(coefficients={"zstd": CostCoefficients(byte_in=100.0)})
+        counters = StageCounters(bytes_in=1000)
+        default_cost = DEFAULT_MACHINE.compress_cycles("zstd", counters)
+        assert machine.compress_cycles("zstd", counters) > default_cost

@@ -1,0 +1,120 @@
+"""Cache server/client tests: item compression, dictionaries, CPU placement."""
+
+import pytest
+
+from repro.corpus import CACHE1_TYPES, generate_cache_items
+from repro.services import CacheClient, CacheServer
+
+
+@pytest.fixture()
+def items():
+    return generate_cache_items(CACHE1_TYPES, 150, seed=10)
+
+
+def _fill(server, items):
+    for index, (type_name, payload) in enumerate(items):
+        server.set(b"key:%d" % index, type_name, payload)
+
+
+class TestCacheServer:
+    def test_set_get_roundtrip(self, items):
+        server = CacheServer()
+        client = CacheClient(server)
+        _fill(server, items)
+        for index, (__, payload) in enumerate(items):
+            assert client.get(b"key:%d" % index) == payload
+
+    def test_miss_returns_none(self):
+        server = CacheServer()
+        client = CacheClient(server)
+        assert client.get(b"missing") is None
+        assert server.stats.misses == 1
+
+    def test_memory_ratio_above_one(self, items):
+        server = CacheServer(level=3)
+        _fill(server, items)
+        assert server.stats.memory_ratio > 1.0
+
+    def test_tiny_items_stored_raw(self):
+        server = CacheServer(min_compress_size=64)
+        server.set(b"k", "session_state", b"tiny")
+        assert server.stats.compress_counters.bytes_in == 0
+
+    def test_incompressible_items_stored_raw(self):
+        import random
+
+        rng = random.Random(1)
+        server = CacheServer()
+        noise = bytes(rng.getrandbits(8) for _ in range(500))
+        server.set(b"k", "session_state", noise)
+        client = CacheClient(server)
+        assert client.get(b"k") == noise
+        # stored raw: stored bytes equals raw bytes
+        assert server.stats.stored_bytes == len(noise)
+
+    def test_hit_rate_accounting(self, items):
+        server = CacheServer()
+        client = CacheClient(server)
+        _fill(server, items[:10])
+        client.get(b"key:1")
+        client.get(b"key:2")
+        client.get(b"nope")
+        assert server.stats.hits == 2 and server.stats.misses == 1
+        assert server.stats.hit_rate == pytest.approx(2 / 3)
+
+
+class TestDictionaries:
+    def test_dictionaries_improve_memory_ratio(self, items):
+        by_type = {}
+        for type_name, payload in items:
+            by_type.setdefault(type_name, []).append(payload)
+
+        plain = CacheServer(level=3, use_dictionaries=False)
+        dicted = CacheServer(level=3, use_dictionaries=True)
+        for type_name, payloads in by_type.items():
+            dicted.train_type_dictionary(type_name, payloads[: len(payloads) // 2])
+        _fill(plain, items)
+        _fill(dicted, items)
+        assert dicted.stats.memory_ratio > plain.stats.memory_ratio
+
+    def test_dictionary_roundtrip_via_client(self, items):
+        server = CacheServer(level=3, use_dictionaries=True)
+        by_type = {}
+        for type_name, payload in items:
+            by_type.setdefault(type_name, []).append(payload)
+        for type_name, payloads in by_type.items():
+            server.train_type_dictionary(type_name, payloads[:30])
+        client = CacheClient(server)
+        _fill(server, items)
+        for index, (__, payload) in enumerate(items):
+            assert client.get(b"key:%d" % index) == payload
+
+    def test_untrained_type_falls_back_to_plain(self):
+        server = CacheServer(use_dictionaries=True)
+        server.set(b"k", "never_trained", b"some payload data here" * 10)
+        client = CacheClient(server)
+        assert client.get(b"k") == b"some payload data here" * 10
+
+
+class TestCpuPlacement:
+    """Section IV-C: the server never decompresses; clients do."""
+
+    def test_server_spends_no_decompression(self, items):
+        server = CacheServer(level=3)
+        client = CacheClient(server)
+        _fill(server, items)
+        for index in range(len(items)):
+            client.get(b"key:%d" % index)
+        # all decompression cycles are on the client
+        assert client.stats.decompress_counters.bytes_out > 0
+        assert client.stats.decompress_seconds > 0
+        assert server.stats.compress_seconds > 0
+
+    def test_network_bytes_are_compressed_bytes(self, items):
+        server = CacheServer(level=3)
+        client = CacheClient(server)
+        _fill(server, items)
+        for index in range(len(items)):
+            client.get(b"key:%d" % index)
+        assert server.stats.network_bytes_served < server.stats.raw_bytes
+        assert client.stats.bytes_received == server.stats.network_bytes_served

@@ -1,0 +1,121 @@
+"""Far-memory (cold-page compression) substrate tests."""
+
+import random
+
+import pytest
+
+from repro.corpus import generate_records
+from repro.services.farmemory import PAGE_SIZE, FarMemoryPool
+
+
+def _structured_page(seed: int) -> bytes:
+    return generate_records(PAGE_SIZE, seed=seed)
+
+
+def _random_page(seed: int) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.getrandbits(8) for _ in range(PAGE_SIZE))
+
+
+class TestPageLifecycle:
+    def test_write_read_roundtrip(self):
+        pool = FarMemoryPool()
+        page = _structured_page(1)
+        pool.write(0, page)
+        assert pool.read(0) == page
+
+    def test_short_page_padded(self):
+        pool = FarMemoryPool()
+        pool.write(0, b"short")
+        data = pool.read(0)
+        assert len(data) == PAGE_SIZE
+        assert data.startswith(b"short")
+
+    def test_missing_page_raises(self):
+        with pytest.raises(KeyError):
+            FarMemoryPool().read(42)
+
+    def test_cold_page_gets_compressed(self):
+        pool = FarMemoryPool(cold_age_ticks=2)
+        pool.write(0, _structured_page(2))
+        for __ in range(3):
+            pool.tick()
+        assert pool.stats.pages_compressed == 1
+        assert pool.compressed_bytes > 0
+        assert pool.resident_bytes == 0
+
+    def test_hot_page_stays_resident(self):
+        pool = FarMemoryPool(cold_age_ticks=3)
+        pool.write(0, _structured_page(3))
+        for __ in range(10):
+            pool.tick()
+            pool.read(0)  # keep touching it
+        assert pool.stats.pages_compressed == 0
+        assert pool.resident_bytes == PAGE_SIZE
+
+    def test_fault_restores_contents_and_counts(self):
+        pool = FarMemoryPool(cold_age_ticks=1)
+        page = _structured_page(4)
+        pool.write(0, page)
+        pool.tick()
+        pool.tick()
+        assert pool.stats.pages_compressed == 1
+        assert pool.read(0) == page
+        assert pool.stats.pages_faulted == 1
+        assert pool.stats.mean_fault_seconds > 0
+
+    def test_incompressible_page_left_resident(self):
+        pool = FarMemoryPool(cold_age_ticks=1)
+        pool.write(0, _random_page(5))
+        pool.tick()
+        pool.tick()
+        assert pool.stats.pages_compressed == 0
+        assert pool.stats.incompressible_pages >= 1
+        assert pool.resident_bytes == PAGE_SIZE
+
+
+class TestMemoryAccounting:
+    def test_memory_saving_on_structured_pool(self):
+        pool = FarMemoryPool(cold_age_ticks=1)
+        for page_number in range(16):
+            pool.write(page_number, _structured_page(100 + page_number))
+        pool.tick()
+        pool.tick()
+        assert pool.stats.pages_compressed == 16
+        assert pool.memory_saving > 0.5
+
+    def test_mixed_pool_partial_saving(self):
+        pool = FarMemoryPool(cold_age_ticks=1)
+        for page_number in range(8):
+            pool.write(page_number, _structured_page(page_number))
+        for page_number in range(8, 12):
+            pool.write(page_number, _random_page(page_number))
+        pool.tick()
+        pool.tick()
+        assert 0.0 < pool.memory_saving < 0.9
+        assert pool.stats.incompressible_pages >= 1
+
+    def test_empty_pool_saving_zero(self):
+        assert FarMemoryPool().memory_saving == 0.0
+
+    def test_rewrite_resets_residency(self):
+        pool = FarMemoryPool(cold_age_ticks=1)
+        pool.write(0, _structured_page(7))
+        pool.tick()
+        pool.tick()
+        assert pool.resident_bytes == 0
+        pool.write(0, _structured_page(8))
+        assert pool.resident_bytes == PAGE_SIZE
+
+    def test_working_set_skew(self):
+        """Zipf access pattern: most pages compress, hot few stay resident."""
+        pool = FarMemoryPool(cold_age_ticks=2)
+        for page_number in range(32):
+            pool.write(page_number, _structured_page(200 + page_number))
+        rng = random.Random(6)
+        for __ in range(12):
+            pool.tick()
+            for __ in range(8):
+                pool.read(rng.choice([0, 1, 2, 0, 1, 0]))  # hot subset
+        assert pool.resident_bytes <= 4 * PAGE_SIZE
+        assert pool.stats.pages_compressed >= 28

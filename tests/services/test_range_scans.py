@@ -1,0 +1,81 @@
+"""Range scan tests for SSTables and the LSM store."""
+
+import pytest
+
+from repro.corpus import generate_kv_records
+from repro.services import KVStore
+from repro.services.kvstore import SSTable
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return generate_kv_records(800, seed=71)
+
+
+class TestSSTableRangeScan:
+    def test_range_matches_reference(self, entries):
+        table = SSTable.build(entries, level=1, block_size=2048)
+        lo, hi = entries[200][0], entries[500][0]
+        got = list(table.scan_range(lo, hi))
+        expected = [(k, v) for k, v in entries if lo <= k < hi]
+        assert got == expected
+
+    def test_empty_range(self, entries):
+        table = SSTable.build(entries, level=1)
+        assert list(table.scan_range(b"z", b"a")) == []
+
+    def test_range_before_all_keys(self, entries):
+        table = SSTable.build(entries, level=1)
+        assert list(table.scan_range(b"\x00", b"\x01")) == []
+
+    def test_range_spanning_everything(self, entries):
+        table = SSTable.build(entries, level=1, block_size=2048)
+        got = list(table.scan_range(b"\x00", b"\xff"))
+        assert got == entries
+
+    def test_only_overlapping_blocks_decoded(self, entries):
+        table = SSTable.build(entries, level=1, block_size=2048)
+        lo, hi = entries[390][0], entries[410][0]
+        before = table.stats.blocks_read
+        list(table.scan_range(lo, hi))
+        touched = table.stats.blocks_read - before
+        assert touched < table.block_count // 2
+
+
+class TestKVStoreRangeScan:
+    def test_merges_memtable_and_ssts(self, entries):
+        store = KVStore(memtable_bytes=1 << 14)
+        for key, value in entries[:600]:
+            store.put(key, value)
+        store.flush()
+        for key, value in entries[600:]:
+            store.put(key, value)  # stays in memtable
+        lo, hi = entries[100][0], entries[700][0]
+        got = dict(store.scan_range(lo, hi))
+        expected = {k: v for k, v in entries if lo <= k < hi}
+        assert got == expected
+
+    def test_newest_value_wins_in_range(self):
+        store = KVStore(memtable_bytes=1 << 12)
+        store.put(b"k/1", b"old")
+        store.flush()
+        store.put(b"k/1", b"new")
+        got = dict(store.scan_range(b"k/", b"k/z"))
+        assert got[b"k/1"] == b"new"
+
+    def test_tombstones_hidden_in_range(self):
+        store = KVStore(memtable_bytes=1 << 12)
+        store.put(b"r/1", b"a")
+        store.put(b"r/2", b"b")
+        store.flush()
+        store.delete(b"r/1")
+        got = dict(store.scan_range(b"r/", b"r/z"))
+        assert got == {b"r/2": b"b"}
+
+    def test_results_sorted(self, entries):
+        store = KVStore(memtable_bytes=1 << 13)
+        for key, value in entries[:300]:
+            store.put(key, value)
+        store.flush()
+        keys = [k for k, __ in store.scan_range(b"\x00", b"\xff")]
+        assert keys == sorted(keys)

@@ -1,0 +1,84 @@
+"""SST file-image serialization tests."""
+
+import pytest
+
+from repro.codecs import get_codec
+from repro.codecs.base import CorruptDataError
+from repro.corpus import generate_kv_records
+from repro.services.kvstore import BlockCache, SSTable
+
+
+@pytest.fixture(scope="module")
+def entries():
+    return generate_kv_records(400, seed=91)
+
+
+@pytest.fixture(scope="module")
+def original(entries):
+    return SSTable.build(entries, level=1, block_size=2048)
+
+
+class TestSSTSerialization:
+    def test_roundtrip_preserves_reads(self, entries, original):
+        image = original.to_bytes()
+        loaded = SSTable.from_bytes(image)
+        for key, value in entries[::23]:
+            found, got, __ = loaded.get(key)
+            assert found and got == value
+
+    def test_roundtrip_preserves_metadata(self, original):
+        loaded = SSTable.from_bytes(original.to_bytes())
+        assert loaded.codec_name == original.codec_name
+        assert loaded.level == original.level
+        assert loaded.entry_count == original.entry_count
+        assert loaded.block_count == original.block_count
+
+    def test_scan_equals_original(self, entries, original):
+        loaded = SSTable.from_bytes(original.to_bytes())
+        assert list(loaded.scan()) == entries
+
+    def test_negative_level_roundtrip(self, entries):
+        table = SSTable.build(entries, codec=get_codec("zstd"), level=-3)
+        loaded = SSTable.from_bytes(table.to_bytes())
+        assert loaded.level == -3
+
+    def test_lz4_sst_roundtrip(self, entries):
+        table = SSTable.build(entries, codec=get_codec("lz4"), level=1)
+        loaded = SSTable.from_bytes(table.to_bytes())
+        found, got, __ = loaded.get(entries[100][0])
+        assert found and got == entries[100][1]
+
+    def test_bloom_rebuilt_on_request(self, entries, original):
+        loaded = SSTable.from_bytes(original.to_bytes(), rebuild_bloom=True)
+        found, __, decode_seconds = loaded.get(b"zzz/not/present")
+        assert not found
+        assert loaded.stats.bloom_skips >= 1
+        assert decode_seconds == 0.0
+
+    def test_no_bloom_by_default(self, original):
+        loaded = SSTable.from_bytes(original.to_bytes())
+        loaded.get(b"zzz/not/present")
+        assert loaded.stats.bloom_skips == 0
+
+    def test_block_cache_attached_on_load(self, entries, original):
+        cache = BlockCache(1 << 20)
+        loaded = SSTable.from_bytes(original.to_bytes(), block_cache=cache)
+        key = entries[50][0]
+        loaded.get(key)
+        loaded.get(key)
+        assert loaded.stats.cache_hits == 1
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CorruptDataError):
+            SSTable.from_bytes(b"NOPE" + b"\x00" * 30)
+
+    def test_truncated_rejected(self, original):
+        image = original.to_bytes()
+        with pytest.raises(CorruptDataError):
+            SSTable.from_bytes(image[: len(image) // 2])
+
+    def test_disk_roundtrip(self, entries, original, tmp_path):
+        path = tmp_path / "table.sst"
+        path.write_bytes(original.to_bytes())
+        loaded = SSTable.from_bytes(path.read_bytes())
+        assert list(loaded.scan()) == entries

@@ -1,0 +1,108 @@
+"""CLI tests (direct main() invocation, no subprocesses)."""
+
+import pytest
+
+from repro.cli import main
+from repro.corpus import generate_records
+
+
+@pytest.fixture()
+def sample_file(tmp_path):
+    path = tmp_path / "sample.bin"
+    path.write_bytes(generate_records(8192, seed=5))
+    return path
+
+
+class TestCompressDecompress:
+    def test_roundtrip(self, tmp_path, sample_file, capsys):
+        compressed = tmp_path / "out.zst"
+        restored = tmp_path / "restored.bin"
+        assert main(["compress", str(sample_file), str(compressed), "--level", "3"]) == 0
+        assert main(["decompress", str(compressed), str(restored)]) == 0
+        assert restored.read_bytes() == sample_file.read_bytes()
+        assert "ratio" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("codec", ["zstd", "lz4", "zlib", "gzip"])
+    def test_all_codecs(self, tmp_path, sample_file, codec):
+        compressed = tmp_path / "out.bin"
+        restored = tmp_path / "restored.bin"
+        assert main(["compress", str(sample_file), str(compressed), "--codec", codec]) == 0
+        assert main(["decompress", str(compressed), str(restored), "--codec", codec]) == 0
+        assert restored.read_bytes() == sample_file.read_bytes()
+
+    def test_dictionary_flow(self, tmp_path, sample_file):
+        dictionary = tmp_path / "dict.bin"
+        other = tmp_path / "other.bin"
+        other.write_bytes(generate_records(8192, seed=6))
+        assert main(
+            ["train-dict", str(dictionary), str(sample_file), str(other), "--max-size", "2048"]
+        ) == 0
+        assert 0 < len(dictionary.read_bytes()) <= 2048
+        compressed = tmp_path / "c.zst"
+        restored = tmp_path / "r.bin"
+        assert main(
+            ["compress", str(sample_file), str(compressed), "--dictionary", str(dictionary)]
+        ) == 0
+        assert main(
+            ["decompress", str(compressed), str(restored), "--dictionary", str(dictionary)]
+        ) == 0
+        assert restored.read_bytes() == sample_file.read_bytes()
+
+
+class TestInspect:
+    def test_inspect_frame(self, tmp_path, sample_file, capsys):
+        compressed = tmp_path / "c.zst"
+        assert main(["compress", str(sample_file), str(compressed)]) == 0
+        capsys.readouterr()
+        assert main(["inspect", str(compressed)]) == 0
+        out = capsys.readouterr().out
+        assert "content size:    8192" in out
+        assert "blocks:" in out
+
+
+class TestBench:
+    def test_bench_prints_table(self, sample_file, capsys):
+        assert main(["bench", str(sample_file), "--levels", "1", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out and "zstd" in out and "lz4" in out
+
+
+class TestOptimize:
+    def test_optimize_prints_ranking(self, sample_file, capsys):
+        assert main(
+            ["optimize", str(sample_file), "--levels", "1", "3", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+
+    def test_unsatisfiable_requirements_exit_code(self, sample_file, capsys):
+        code = main(
+            [
+                "optimize", str(sample_file),
+                "--levels", "1", "--min-speed", "999999",
+            ]
+        )
+        assert code == 1
+        assert "no configuration" in capsys.readouterr().out
+
+    def test_block_size_grid(self, sample_file, capsys):
+        assert main(
+            [
+                "optimize", str(sample_file),
+                "--codecs", "zstd", "--levels", "1",
+                "--block-sizes", "4", "16",
+                "--max-decode-ms", "10",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "zstd-1@4KB" in out and "zstd-1@16KB" in out
+
+
+class TestFleetReport:
+    def test_fleet_report(self, capsys):
+        assert main(
+            ["fleet-report", "--days", "2", "--samples-per-day", "20000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "compression share" in out
+        assert "Data Warehouse" in out

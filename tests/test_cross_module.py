@@ -1,0 +1,142 @@
+"""Cross-module integration tests: compositions the unit suites don't hit."""
+
+import pytest
+
+from repro.codecs import get_codec, train_dictionary
+from repro.core import (
+    CompEngine,
+    CompOpt,
+    CompressionConfig,
+    CostModel,
+    CostParameters,
+)
+from repro.core.config import config_grid
+from repro.corpus import (
+    CACHE1_TYPES,
+    generate_cache_items,
+    generate_kv_records,
+    generate_logs,
+    generate_table,
+    generate_telemetry,
+)
+from repro.perfmodel import DEFAULT_MACHINE
+from repro.services import (
+    CacheClient,
+    CacheServer,
+    KVStore,
+    ManagedCompression,
+    OrcReader,
+    OrcWriter,
+)
+
+
+class TestGzipThroughCompOpt:
+    def test_gzip_as_candidate(self):
+        engine = CompEngine([generate_logs(8192, seed=1)])
+        model = CostModel(CostParameters.from_price_book(beta=1e-6))
+        result = CompOpt(engine, model).optimize(
+            config_grid(["gzip", "zlib"], levels=[6])
+        )
+        by_algo = {r.config.algorithm: r for r in result.ranked}
+        # Same DEFLATE engine: nearly identical ratio, container overhead
+        # differs by a few bytes only.
+        assert by_algo["gzip"].metrics.ratio == pytest.approx(
+            by_algo["zlib"].metrics.ratio, rel=0.01
+        )
+
+
+class TestNewCorpusThroughServices:
+    def test_logs_through_kvstore(self):
+        store = KVStore(memtable_bytes=1 << 14, block_size=4096)
+        log_lines = generate_logs(20000, seed=2).splitlines()
+        for index, line in enumerate(log_lines):
+            store.put(b"log/%08d" % index, line)
+        store.flush()
+        assert store.get(b"log/%08d" % 50) == log_lines[50]
+        assert store.stats.storage_ratio > 2.0
+
+    def test_telemetry_through_orc_float_column(self):
+        import numpy as np
+
+        values = np.frombuffer(generate_telemetry(8000, seed=3), dtype="<f8")
+        table = {"metric": values}
+        payload = OrcWriter(level=1).write(table)
+        restored = OrcReader().read(payload)
+        assert np.array_equal(restored["metric"], values)
+
+
+class TestManagedBackedCache:
+    def test_managed_dictionaries_in_cache_flow(self):
+        """Managed Compression trains; cache serves with the same dicts."""
+        items = generate_cache_items(CACHE1_TYPES, 200, seed=4)
+        managed = ManagedCompression(sample_every=1)
+        managed.register_use_case("cache_items", retrain_interval=32)
+        for __, payload in items[:120]:
+            managed.compress("cache_items", payload)
+        assert managed.current_version("cache_items") >= 1
+
+        # install the managed dictionary into a cache server by type
+        server = CacheServer(level=3, use_dictionaries=True)
+        state = managed._use_cases["cache_items"]
+        from repro.codecs.zstd.dictionary import CompressionDictionary
+
+        for spec in CACHE1_TYPES:
+            server.dictionaries[spec.name] = CompressionDictionary(
+                state.dictionaries[managed.current_version("cache_items")]
+            )
+        client = CacheClient(server)
+        for index, (type_name, payload) in enumerate(items[120:]):
+            server.set(b"k%d" % index, type_name, payload)
+        for index, (__, payload) in enumerate(items[120:]):
+            assert client.get(b"k%d" % index) == payload
+        assert server.stats.memory_ratio > 1.5
+
+
+class TestDictionaryPlusBlockSize:
+    def test_dictionary_and_chunking_compose_in_engine(self):
+        samples = [p for __, p in generate_cache_items(CACHE1_TYPES, 60, seed=5)]
+        dictionary = train_dictionary(samples[:40], 4096)
+        engine = CompEngine(samples[40:], dictionary=dictionary.content)
+        plain = engine.measure(CompressionConfig("zstd", 3, 512))
+        dicted = engine.measure(
+            CompressionConfig("zstd", 3, 512), use_dictionary=True
+        )
+        assert dicted.ratio > plain.ratio
+
+
+class TestWallclockVsModeled:
+    def test_both_timings_agree_on_ratio(self):
+        samples = [generate_logs(4096, seed=6)]
+        modeled = CompEngine(samples, timing="modeled").measure(
+            CompressionConfig("zstd", 1)
+        )
+        wallclock = CompEngine(samples, timing="wallclock").measure(
+            CompressionConfig("zstd", 1)
+        )
+        assert modeled.ratio == wallclock.ratio
+        # Modeled speed reflects a C-library-scale core; pure-Python
+        # wall-clock is orders of magnitude slower.
+        assert modeled.compression_speed > 20 * wallclock.compression_speed
+
+
+class TestCountersConsistency:
+    def test_compress_decompress_byte_conservation(self):
+        codec = get_codec("zstd")
+        table = generate_table(500, seed=7)
+        payload = OrcWriter(codec=codec, level=1).write(table)
+        reader = OrcReader(codec=codec)
+        reader.read(payload)
+        counters = reader.stats.decompress_counters
+        # decoded bytes = literal copies + match copies
+        assert counters.bytes_out == (
+            counters.literal_bytes_copied + counters.match_bytes_copied
+        )
+
+    def test_stage_breakdown_nonnegative_everywhere(self):
+        for name in ("zstd", "lz4", "zlib", "gzip"):
+            codec = get_codec(name)
+            result = codec.compress(generate_logs(4096, seed=8), codec.default_level)
+            breakdown = DEFAULT_MACHINE.compress_breakdown(name, result.counters)
+            assert breakdown.match_finding >= 0
+            assert breakdown.entropy >= 0
+            assert breakdown.overhead > 0
