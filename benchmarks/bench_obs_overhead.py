@@ -1,0 +1,140 @@
+"""Telemetry overhead guard: instrumented-but-disabled codec calls must be
+within 5% of the pre-instrumentation baseline.
+
+The zero-cost-when-disabled contract: with ``OBS_STATE.enabled`` false, a
+codec call pays exactly one attribute read and branch. The guard times
+``Compressor.compress``/``decompress`` (instrumented path, telemetry off)
+against a baseline that performs the identical pre-change work — argument
+validation plus ``_compress``/``_decompress`` and counter bookkeeping with
+no telemetry branch — and fails if the instrumented path is more than 5%
+slower (plus a small absolute epsilon so sub-millisecond noise cannot trip
+the gate).
+
+Runs standalone (``python benchmarks/bench_obs_overhead.py``, exit code 1
+on regression) and under ``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.codecs import get_codec
+from repro.codecs.base import CompressResult, DecompressResult, StageCounters
+from repro.obs.state import OBS_STATE
+
+#: tolerated slowdown of the disabled-telemetry path vs the baseline
+THRESHOLD = 1.05
+#: absolute slack per batch (seconds) so scheduler jitter cannot trip 5%
+EPSILON = 2e-3
+
+_DATA = (
+    b"ts=1690000000|service=kvstore|status=ok|bytes=004096|region=use1\n"
+) * 32  # ~2 KiB of structured, compressible text
+_LEVEL = 3
+_CALLS_PER_BATCH = 20
+_TRIALS = 7
+
+
+def _baseline_compress(codec, data: bytes, level: int) -> CompressResult:
+    """The pre-instrumentation compress body: validation + work, no hooks."""
+    if not codec.min_level <= level <= codec.max_level:
+        raise AssertionError("level out of range")
+    counters = StageCounters(bytes_in=len(data))
+    payload = codec._compress(bytes(data), level, None, counters)
+    counters.bytes_out = len(payload)
+    return CompressResult(payload, counters, codec.name, level)
+
+
+def _baseline_decompress(codec, payload: bytes) -> DecompressResult:
+    counters = StageCounters(bytes_in=len(payload))
+    codec._output_limit = None
+    data = codec._decompress(bytes(payload), None, counters)
+    counters.bytes_out = len(data)
+    return DecompressResult(data, counters, codec.name)
+
+
+def _best_batch_seconds(fn, trials: int = _TRIALS) -> float:
+    """Minimum wall time over ``trials`` batches — the noise-robust read."""
+    best = float("inf")
+    for _ in range(trials):
+        start = time.perf_counter()
+        for _ in range(_CALLS_PER_BATCH):
+            fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> dict:
+    """Time instrumented-disabled vs baseline compress and decompress."""
+    codec = get_codec("zstd")
+    assert not OBS_STATE.enabled, "guard must run with telemetry disabled"
+    compressed = codec.compress(_DATA, _LEVEL).data
+
+    # warm up caches/allocators before timing either variant
+    for _ in range(3):
+        _baseline_compress(codec, _DATA, _LEVEL)
+        codec.compress(_DATA, _LEVEL)
+
+    return {
+        "compress": (
+            _best_batch_seconds(lambda: _baseline_compress(codec, _DATA, _LEVEL)),
+            _best_batch_seconds(lambda: codec.compress(_DATA, _LEVEL)),
+        ),
+        "decompress": (
+            _best_batch_seconds(lambda: _baseline_decompress(codec, compressed)),
+            _best_batch_seconds(lambda: codec.decompress(compressed)),
+        ),
+    }
+
+
+def check(results: dict) -> list:
+    """Return a list of failure strings (empty = within budget)."""
+    failures = []
+    for direction, (baseline, instrumented) in results.items():
+        budget = baseline * THRESHOLD + EPSILON
+        if instrumented > budget:
+            failures.append(
+                f"{direction}: instrumented {instrumented * 1e3:.3f} ms/batch "
+                f"exceeds budget {budget * 1e3:.3f} ms/batch "
+                f"(baseline {baseline * 1e3:.3f} ms)"
+            )
+    return failures
+
+
+def _report(results: dict) -> str:
+    lines = [
+        f"telemetry-disabled overhead guard "
+        f"(threshold {THRESHOLD:.2f}x + {EPSILON * 1e3:.0f} ms, "
+        f"{_CALLS_PER_BATCH} calls/batch, best of {_TRIALS}):"
+    ]
+    for direction, (baseline, instrumented) in results.items():
+        ratio = instrumented / baseline if baseline else float("inf")
+        lines.append(
+            f"  {direction:10s} baseline {baseline * 1e3:8.3f} ms  "
+            f"instrumented {instrumented * 1e3:8.3f} ms  ({ratio:.3f}x)"
+        )
+    return "\n".join(lines)
+
+
+def test_disabled_telemetry_overhead():
+    """Tier-2 guard: disabled-telemetry codec calls stay within 5%."""
+    results = measure()
+    failures = check(results)
+    assert not failures, "\n".join([_report(results)] + failures)
+
+
+def main() -> int:
+    results = measure()
+    print(_report(results))
+    failures = check(results)
+    for failure in failures:
+        print(f"FAIL {failure}")
+    if failures:
+        return 1
+    print("PASS disabled-telemetry overhead within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Commands:
 - ``optimize`` -- run CompOpt over sample files and print the ranking.
 - ``fleet-report`` -- run the fleet profiling simulation and print the
   Section-III characterization.
+- ``obs`` -- run an instrumented workload with telemetry enabled and emit
+  the metrics snapshot (table, Prometheus text, or JSON lines).
 """
 
 from __future__ import annotations
@@ -193,6 +195,12 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.cli import run_obs_command
+
+    return run_obs_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -253,6 +261,21 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--samples-per-day", type=int, default=200_000)
     fleet.add_argument("--seed", type=int, default=30)
     fleet.set_defaults(func=_cmd_fleet_report)
+
+    obs = sub.add_parser(
+        "obs", help="run a telemetry-instrumented workload, print snapshot"
+    )
+    obs.add_argument(
+        "--workload", default="all",
+        choices=["kvstore", "rpc", "cache", "all"],
+    )
+    obs.add_argument(
+        "--format", default="table",
+        choices=["table", "prometheus", "jsonl"],
+    )
+    obs.add_argument("--output", default=None,
+                     help="write the snapshot to a file instead of stdout")
+    obs.set_defaults(func=_cmd_obs)
     return parser
 
 

@@ -10,7 +10,11 @@ measurements on production hardware (see DESIGN.md section 1.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Type
+
+from repro.obs.instrument import record_codec_call
+from repro.obs.state import OBS_STATE
 
 
 class CodecError(Exception):
@@ -132,8 +136,15 @@ class Compressor:
         if dictionary is not None and not self.supports_dictionaries():
             raise CodecError(f"{self.name} does not support dictionaries")
         counters = StageCounters(bytes_in=len(data))
+        # telemetry: one flag read per call; everything else only when on
+        obs_on = OBS_STATE.enabled
+        start = perf_counter() if obs_on else 0.0
         payload = self._compress(bytes(data), level, dictionary, counters)
         counters.bytes_out = len(payload)
+        if obs_on:
+            record_codec_call(
+                self.name, "compress", level, counters, perf_counter() - start
+            )
         return CompressResult(payload, counters, self.name, level)
 
     def decompress(
@@ -150,6 +161,8 @@ class Compressor:
         if max_output_bytes is not None and max_output_bytes < 0:
             raise ValueError("max_output_bytes must be non-negative")
         counters = StageCounters(bytes_in=len(payload))
+        obs_on = OBS_STATE.enabled
+        start = perf_counter() if obs_on else 0.0
         self._output_limit = max_output_bytes
         try:
             data = self._decompress(bytes(payload), dictionary, counters)
@@ -160,6 +173,10 @@ class Compressor:
                 f"decoded {len(data)} bytes exceeds limit {max_output_bytes}"
             )
         counters.bytes_out = len(data)
+        if obs_on:
+            record_codec_call(
+                self.name, "decompress", None, counters, perf_counter() - start
+            )
         return DecompressResult(data, counters, self.name)
 
     #: per-call output budget, set by :meth:`decompress` (None = unbounded)

@@ -40,10 +40,21 @@ class CompressionMetrics:
 
     @property
     def decompress_seconds(self) -> float:
-        """Total seconds spent decompressing the sample set."""
+        """Total seconds spent decompressing the sample set.
+
+        ``decompression_speed`` is measured in bytes of *output* produced
+        per second, and decompressing the sample set reproduces the
+        original data, so the output volume equals ``input_bytes`` — not
+        ``compressed_bytes``, which is the (smaller) consumed volume.
+        Dividing output bytes by output rate is the exact inverse of how
+        :class:`repro.core.engine.CompEngine` derives the speed
+        (``input_bytes / decompress_seconds``), so the round trip is
+        lossless.
+        """
         if self.decompression_speed <= 0:
             return 0.0
-        return self.input_bytes / self.decompression_speed
+        output_bytes = self.input_bytes  # decompression restores the input
+        return output_bytes / self.decompression_speed
 
     @property
     def space_saving(self) -> float:

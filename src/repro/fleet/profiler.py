@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.fleet.callstack import CallStackSample, build_stack
 from repro.fleet.profiles import DEFAULT_FLEET, ServiceProfile
+from repro.obs.instrument import record_fleet_sample
+from repro.obs.state import OBS_STATE
 
 #: fraction of compression cycles in the match-finding stage, by level.
 #: Low levels are entropy-dominated, high levels match-finding-dominated
@@ -104,6 +106,10 @@ class SamplingProfiler:
                     block_size=block_size,
                 )
             )
+            if OBS_STATE.enabled:
+                record_fleet_sample(
+                    profile.name, algorithm, direction, level, stage, int(count)
+                )
         return samples
 
     def block_size_samples(

@@ -1,0 +1,78 @@
+"""``repro.obs`` — the fleet telemetry subsystem.
+
+The always-on profiling layer the paper's characterization rests on
+(Section III-A), reproduced as a process-wide metrics registry plus trace
+spans, with instrumentation threaded through the codec layer and every
+service substrate:
+
+- :mod:`repro.obs.metrics` — ``Counter`` / ``Gauge`` / log-bucketed
+  ``Histogram`` families in a mergeable :class:`MetricsRegistry`.
+- :mod:`repro.obs.spans` — nested wall-time spans forming flame-style
+  per-request attributions.
+- :mod:`repro.obs.instrument` — the hook functions hot paths call.
+- :mod:`repro.obs.export` — Prometheus text, JSON-lines, and table views.
+- ``repro obs`` (CLI) — run a workload and emit a snapshot.
+
+Telemetry is **off by default** and zero-cost when disabled: instrumented
+call sites check one module-level flag (:data:`repro.obs.state.OBS_STATE`)
+and skip everything else. Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run any workload: kvstore reads, RPC sends, cache gets
+    print(obs.to_prometheus(obs.get_registry()))
+"""
+
+from repro.obs.export import (
+    registry_snapshot,
+    to_jsonl,
+    to_prometheus,
+    to_table,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.spans import (
+    SpanRecord,
+    current_span,
+    flame_counts,
+    recent_roots,
+    reset_spans,
+    span,
+)
+from repro.obs.state import OBS_STATE, disable, enable, is_enabled
+
+
+def reset() -> None:
+    """Clear all collected telemetry (registry and spans); flag unchanged."""
+    get_registry().clear()
+    reset_spans()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OBS_STATE",
+    "SpanRecord",
+    "current_span",
+    "disable",
+    "enable",
+    "flame_counts",
+    "get_registry",
+    "is_enabled",
+    "recent_roots",
+    "registry_snapshot",
+    "reset",
+    "reset_spans",
+    "span",
+    "to_jsonl",
+    "to_prometheus",
+    "to_table",
+]

@@ -1,0 +1,193 @@
+"""Hook functions called from instrumented hot paths.
+
+Each hook translates one event (a codec call, a block decode, an RPC
+message) into registry updates keyed the way the paper's fleet profiler
+keys its aggregation: (algorithm, direction, level, stage). Callers are
+responsible for the enabled check — the hot-path contract is::
+
+    if OBS_STATE.enabled:
+        record_codec_call(...)
+
+so a disabled process pays exactly one attribute read and branch per call.
+Every hook accepts an optional ``registry`` for sharded/offline use and
+defaults to the process-global one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+#: metric family names (importable so tests and exporters avoid typos)
+CODEC_CALLS = "repro_codec_calls_total"
+CODEC_BYTES = "repro_codec_bytes_total"
+CODEC_STAGE_OPS = "repro_codec_stage_ops_total"
+CODEC_SECONDS = "repro_codec_call_seconds"
+CODEC_BLOCK_BYTES = "repro_codec_block_bytes"
+BLOCK_DECODE_SECONDS = "repro_kvstore_block_decode_seconds"
+BLOCK_CACHE = "repro_kvstore_block_cache_total"
+CACHE_REQUESTS = "repro_cache_requests_total"
+CACHE_BYTES = "repro_cache_bytes_total"
+RPC_MESSAGES = "repro_rpc_messages_total"
+RPC_BYTES = "repro_rpc_bytes_total"
+RPC_SECONDS = "repro_rpc_message_seconds"
+FLEET_SAMPLES = "repro_fleet_cycle_samples_total"
+
+
+def _level_label(level: Optional[int]) -> str:
+    # decompression is level-oblivious ("one decompression path" — §II)
+    return "na" if level is None else str(level)
+
+
+def record_codec_call(
+    algorithm: str,
+    direction: str,
+    level: Optional[int],
+    counters,
+    seconds: float,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """One compress/decompress call: stage-split counters + duration.
+
+    ``counters`` is a :class:`repro.codecs.base.StageCounters`; its
+    per-stage operation counts are folded into the match-finding/entropy
+    split of Fig. 7 (compression) or the sequence/entropy decode split
+    (decompression).
+    """
+    reg = registry if registry is not None else get_registry()
+    lvl = _level_label(level)
+    reg.counter(CODEC_CALLS, help="codec API calls").inc(
+        1, algorithm=algorithm, direction=direction, level=lvl
+    )
+    bytes_total = reg.counter(CODEC_BYTES, help="bytes through codec APIs")
+    if counters.bytes_in:
+        bytes_total.inc(
+            counters.bytes_in,
+            algorithm=algorithm, direction=direction, level=lvl, kind="input",
+        )
+    if counters.bytes_out:
+        bytes_total.inc(
+            counters.bytes_out,
+            algorithm=algorithm, direction=direction, level=lvl, kind="output",
+        )
+    if direction == "compress":
+        stages = {
+            "match_finding": (
+                counters.positions_scanned
+                + counters.hash_probes
+                + counters.match_bytes_compared
+            ),
+            "entropy": counters.entropy_symbols + counters.table_builds,
+            "setup": counters.setup_entries,
+        }
+    else:
+        stages = {
+            "sequence_decode": (
+                counters.sequences_decoded
+                + counters.literal_bytes_copied
+                + counters.match_bytes_copied
+            ),
+            "entropy": counters.entropy_symbols_decoded,
+        }
+    stage_ops = reg.counter(
+        CODEC_STAGE_OPS, help="pipeline-stage operations (Fig. 7 split)"
+    )
+    for stage, ops in stages.items():
+        if ops:
+            stage_ops.inc(
+                ops,
+                algorithm=algorithm, direction=direction, level=lvl, stage=stage,
+            )
+    reg.histogram(
+        CODEC_SECONDS, help="wall seconds per codec call"
+    ).observe(seconds, algorithm=algorithm, direction=direction)
+    reg.histogram(
+        CODEC_BLOCK_BYTES, help="input bytes per codec call (Fig. 5 shape)"
+    ).observe(float(counters.bytes_in), algorithm=algorithm, direction=direction)
+
+
+def record_block_decode(
+    algorithm: str, seconds: float, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One SST block decompressed on the read path (Fig. 13's latency)."""
+    reg = registry if registry is not None else get_registry()
+    reg.histogram(
+        BLOCK_DECODE_SECONDS, help="per-block decode latency, read path"
+    ).observe(seconds, algorithm=algorithm)
+
+
+def record_block_cache(
+    hit: bool, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One block-cache probe."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(BLOCK_CACHE, help="block cache probes").inc(
+        1, result="hit" if hit else "miss"
+    )
+
+
+def record_cache_request(
+    op: str,
+    result: str,
+    bytes_count: int = 0,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """One cache-service operation (server set/get, client get)."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(CACHE_REQUESTS, help="cache service operations").inc(
+        1, op=op, result=result
+    )
+    if bytes_count:
+        reg.counter(CACHE_BYTES, help="cache service bytes moved").inc(
+            bytes_count, op=op
+        )
+
+
+def record_rpc_message(
+    algorithm: str,
+    raw_bytes: int,
+    wire_bytes: int,
+    compress_seconds: float,
+    transfer_seconds: float,
+    decompress_seconds: float,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """One RPC send: byte accounting plus per-stage latency histograms."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(RPC_MESSAGES, help="RPC messages sent").inc(
+        1, algorithm=algorithm
+    )
+    rpc_bytes = reg.counter(RPC_BYTES, help="RPC payload bytes")
+    rpc_bytes.inc(raw_bytes, algorithm=algorithm, kind="raw")
+    rpc_bytes.inc(wire_bytes, algorithm=algorithm, kind="wire")
+    seconds = reg.histogram(
+        RPC_SECONDS, help="per-message seconds by pipeline stage"
+    )
+    seconds.observe(compress_seconds, algorithm=algorithm, stage="compress")
+    seconds.observe(transfer_seconds, algorithm=algorithm, stage="transfer")
+    seconds.observe(decompress_seconds, algorithm=algorithm, stage="decompress")
+
+
+def record_fleet_sample(
+    service: str,
+    algorithm: Optional[str],
+    direction: Optional[str],
+    level: Optional[int],
+    stage: Optional[str],
+    weight: int,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """One aggregated profiler leaf: ``weight`` cycle samples attributed to
+    (service, algorithm, direction, level, stage) — the Section III-A key."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(
+        FLEET_SAMPLES, help="fleet cycle samples by profiler leaf"
+    ).inc(
+        weight,
+        service=service,
+        algorithm=algorithm or "none",
+        direction=direction or "none",
+        level=_level_label(level),
+        stage=stage or "none",
+    )

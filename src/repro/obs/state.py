@@ -1,0 +1,42 @@
+"""The process-global telemetry enable flag.
+
+Instrumented hot paths (codec calls, block-cache probes, RPC sends) must
+cost nothing when telemetry is off: they read ``OBS_STATE.enabled`` once
+per call and branch around every other observability import and
+allocation. The flag lives in its own tiny module so hot paths can import
+it without pulling in the registry, exporters, or span machinery.
+"""
+
+from __future__ import annotations
+
+
+class ObsState:
+    """Mutable holder for the global on/off switch.
+
+    A single-attribute object (rather than a bare module global) so hot
+    modules can bind the *object* at import time and still see later
+    ``enable()``/``disable()`` flips.
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+#: the switch every instrumented call site checks
+OBS_STATE = ObsState()
+
+
+def enable() -> None:
+    """Turn on fleet telemetry collection process-wide."""
+    OBS_STATE.enabled = True
+
+
+def disable() -> None:
+    """Turn off telemetry; instrumented paths revert to a single branch."""
+    OBS_STATE.enabled = False
+
+
+def is_enabled() -> bool:
+    return OBS_STATE.enabled

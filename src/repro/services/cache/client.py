@@ -6,6 +6,8 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.codecs.base import StageCounters
+from repro.obs.instrument import record_cache_request
+from repro.obs.state import OBS_STATE
 from repro.perfmodel import DEFAULT_MACHINE, MachineModel
 from repro.services.cache.server import CacheServer
 
@@ -41,9 +43,13 @@ class CacheClient:
         self.stats.gets += 1
         entry = self.server.get_compressed(key)
         if entry is None:
+            if OBS_STATE.enabled:
+                record_cache_request("client_get", "miss")
             return None
         type_name, compressed, payload = entry
         self.stats.bytes_received += len(payload)
+        if OBS_STATE.enabled:
+            record_cache_request("client_get", "hit", len(payload))
         if not compressed:
             self.stats.bytes_decoded += len(payload)
             return payload

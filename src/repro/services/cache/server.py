@@ -13,6 +13,8 @@ from repro.codecs import (
     train_dictionary,
 )
 from repro.codecs.base import StageCounters
+from repro.obs.instrument import record_cache_request
+from repro.obs.state import OBS_STATE
 from repro.perfmodel import DEFAULT_MACHINE, MachineModel
 
 
@@ -111,6 +113,8 @@ class CacheServer:
             self._insert(bytes(key), type_name, True, result.data)
         else:
             self._insert(bytes(key), type_name, False, bytes(value))
+        if OBS_STATE.enabled:
+            record_cache_request("set", "stored", len(value))
 
     def _insert(self, key: bytes, type_name: str, compressed: bool, payload: bytes) -> None:
         """Store one entry, evicting LRU items past the capacity budget."""
@@ -136,10 +140,14 @@ class CacheServer:
         entry = self._store.get(key)
         if entry is None:
             self.stats.misses += 1
+            if OBS_STATE.enabled:
+                record_cache_request("get", "miss")
             return None
         self._store.move_to_end(key)  # LRU touch
         self.stats.hits += 1
         self.stats.network_bytes_served += len(entry[2])
+        if OBS_STATE.enabled:
+            record_cache_request("get", "hit", len(entry[2]))
         return entry
 
     @property

@@ -11,6 +11,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.obs.instrument import record_block_cache
+from repro.obs.state import OBS_STATE
+
 CacheKey = Tuple[int, int]  # (table id, block index)
 
 
@@ -41,9 +44,13 @@ class BlockCache:
         block = self._entries.get(key)
         if block is None:
             self.stats.misses += 1
+            if OBS_STATE.enabled:
+                record_block_cache(hit=False)
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        if OBS_STATE.enabled:
+            record_block_cache(hit=True)
         return block
 
     def put(self, key: CacheKey, block: bytes) -> None:

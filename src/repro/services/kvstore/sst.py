@@ -14,6 +14,8 @@ from typing import Iterator, List, Optional, Tuple
 from repro.codecs import Compressor, get_codec
 from repro.codecs.base import StageCounters
 from repro.codecs.varint import read_uvarint, write_uvarint
+from repro.obs.instrument import record_block_decode
+from repro.obs.state import OBS_STATE
 from repro.perfmodel import DEFAULT_MACHINE, MachineModel
 from repro.services.kvstore.blockcache import BlockCache
 from repro.services.kvstore.bloom import BloomFilter
@@ -191,6 +193,8 @@ class SSTable:
         decode_seconds = self._machine.decompress_seconds(
             self.codec_name, result.counters
         )
+        if OBS_STATE.enabled:
+            record_block_decode(self.codec_name, decode_seconds)
         if self._cache is not None:
             self._cache.put((id(self), block_index), result.data)
         return result.data, decode_seconds

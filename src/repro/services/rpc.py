@@ -13,6 +13,9 @@ from typing import Optional, Tuple
 
 from repro.codecs import Compressor, get_codec
 from repro.codecs.base import StageCounters
+from repro.obs.instrument import record_rpc_message
+from repro.obs.spans import span
+from repro.obs.state import OBS_STATE
 from repro.perfmodel import DEFAULT_MACHINE, MachineModel
 
 
@@ -31,7 +34,16 @@ class RpcStats:
 
     @property
     def wire_ratio(self) -> float:
-        return self.raw_bytes / self.wire_bytes if self.wire_bytes else 1.0
+        """Raw bytes per wire byte (higher = more effective compression).
+
+        With no traffic at all the ratio is the neutral 1.0; if raw bytes
+        were sent but zero bytes hit the wire (degenerate empty-payload
+        compression) the ratio is unbounded, reported as ``inf`` rather
+        than a misleading 1.0.
+        """
+        if self.wire_bytes:
+            return self.raw_bytes / self.wire_bytes
+        return float("inf") if self.raw_bytes else 1.0
 
     @property
     def total_latency_seconds(self) -> float:
@@ -64,9 +76,16 @@ class Channel:
         End-to-end time = sender compression + wire transfer + receiver
         decompression, the latency sum ADS1 must keep within its SLO.
         """
+        if OBS_STATE.enabled:
+            with span("rpc.send", codec=self.codec.name, level=self.level):
+                return self._send(payload)
+        return self._send(payload)
+
+    def _send(self, payload: bytes) -> Tuple[bytes, float]:
         self.stats.messages += 1
         self.stats.raw_bytes += len(payload)
         elapsed = self.propagation_seconds
+        compress_seconds = decompress_seconds = 0.0
         if self.compress:
             result = self.codec.compress(payload, self.level)
             self.stats.compress_counters.merge(result.counters)
@@ -93,4 +112,13 @@ class Channel:
             received = restored.data
         else:
             received = wire
+        if OBS_STATE.enabled:
+            record_rpc_message(
+                self.codec.name if self.compress else "none",
+                raw_bytes=len(payload),
+                wire_bytes=len(wire),
+                compress_seconds=compress_seconds,
+                transfer_seconds=transfer,
+                decompress_seconds=decompress_seconds,
+            )
         return received, elapsed

@@ -93,3 +93,40 @@ class TestFromPriceBook:
         warm_cost = CostModel(warm).evaluate(_metrics()).storage
         flash_cost = CostModel(flash).evaluate(_metrics()).storage
         assert flash_cost > warm_cost
+
+
+class TestDecompressSecondsSemantics:
+    """Regression: decompress_seconds is output-volume over output-rate.
+
+    ``decompression_speed`` is bytes of *output* produced per second, and
+    decompression reproduces the original sample set, so the time must be
+    ``input_bytes / decompression_speed`` — never ``compressed_bytes``
+    (the consumed volume) over that rate.
+    """
+
+    def test_uses_output_bytes_not_compressed_bytes(self):
+        metrics = _metrics(ratio=8.0, decomp_speed=1000e6, size=1 << 20)
+        expected = (1 << 20) / 1000e6
+        assert metrics.decompress_seconds == pytest.approx(expected)
+        wrong = metrics.compressed_bytes / metrics.decompression_speed
+        assert metrics.decompress_seconds != pytest.approx(wrong)
+
+    def test_round_trips_with_engine_derivation(self):
+        """CompEngine derives speed = input_bytes / seconds; inverting it
+        through the property must return the same seconds."""
+        seconds = 0.125
+        size = 1 << 20
+        metrics = _metrics(decomp_speed=size / seconds, size=size)
+        assert metrics.decompress_seconds == pytest.approx(seconds)
+
+    def test_zero_speed_guard(self):
+        metrics = CompressionMetrics(
+            ratio=4.0,
+            compression_speed=400e6,
+            decompression_speed=0.0,
+            input_bytes=1 << 20,
+            compressed_bytes=1 << 18,
+            block_count=1,
+            decode_seconds_per_block=0.0,
+        )
+        assert metrics.decompress_seconds == 0.0

@@ -1,0 +1,17 @@
+"""Telemetry test isolation: every test starts from a clean, enabled state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def fresh_obs():
+    """Enable telemetry on a cleared global registry; restore on exit."""
+    obs.reset()
+    obs.enable()
+    yield obs.get_registry()
+    obs.disable()
+    obs.reset()

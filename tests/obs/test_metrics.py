@@ -1,0 +1,190 @@
+"""Metric primitives: counters, gauges, histogram percentiles, merging."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.obs.export import registry_snapshot
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value_by_labels(self):
+        c = Counter("calls")
+        c.inc(algorithm="zstd", direction="compress")
+        c.inc(2, algorithm="zstd", direction="compress")
+        c.inc(5, algorithm="lz4", direction="compress")
+        assert c.value(algorithm="zstd", direction="compress") == 3
+        assert c.value(algorithm="lz4", direction="compress") == 5
+        assert c.value(algorithm="zlib", direction="compress") == 0
+        assert c.total() == 8
+
+    def test_label_order_is_irrelevant(self):
+        c = Counter("calls")
+        c.inc(1, a="x", b="y")
+        c.inc(1, b="y", a="x")
+        assert c.value(a="x", b="y") == 2
+
+    def test_negative_increment_rejected(self):
+        c = Counter("calls")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_merge_adds_per_series(self):
+        a, b = Counter("calls"), Counter("calls")
+        a.inc(3, codec="zstd")
+        b.inc(4, codec="zstd")
+        b.inc(1, codec="lz4")
+        a.merge(b)
+        assert a.value(codec="zstd") == 7
+        assert a.value(codec="lz4") == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("resident_bytes")
+        g.set(100, shard="0")
+        g.inc(50, shard="0")
+        g.dec(25, shard="0")
+        assert g.value(shard="0") == 125
+
+
+class TestHistogramPercentiles:
+    def test_uniform_distribution(self):
+        """p50/p90/p99 of uniform 1..1000 land within one bucket width."""
+        h = Histogram("lat")
+        for v in range(1, 1001):
+            h.observe(float(v))
+        assert h.count() == 1000
+        assert h.sum() == pytest.approx(500500.0)
+        assert h.min() == 1.0
+        assert h.max() == 1000.0
+        # log-bucketed: relative error bounded by ~ half a bucket (~9%),
+        # plus discretization; 15% is a safe envelope.
+        assert h.p50() == pytest.approx(500, rel=0.15)
+        assert h.p90() == pytest.approx(900, rel=0.15)
+        assert h.p99() == pytest.approx(990, rel=0.15)
+
+    def test_constant_distribution(self):
+        h = Histogram("lat")
+        for _ in range(100):
+            h.observe(5.0)
+        for p in (1, 50, 99, 100):
+            assert h.percentile(p) == pytest.approx(5.0, rel=0.10)
+
+    def test_wide_dynamic_range(self):
+        """Nanoseconds and seconds coexist; quantiles stay order-accurate."""
+        h = Histogram("lat")
+        for _ in range(99):
+            h.observe(1e-9)
+        h.observe(1.0)
+        assert h.p50() == pytest.approx(1e-9, rel=0.15)
+        assert h.percentile(100) == pytest.approx(1.0, rel=0.15)
+
+    def test_zero_observations_bucket(self):
+        """Zero-duration events (cache hits) count and rank below positives."""
+        h = Histogram("lat")
+        for _ in range(90):
+            h.observe(0.0)
+        for _ in range(10):
+            h.observe(1.0)
+        assert h.count() == 100
+        assert h.p50() == 0.0
+        assert h.percentile(99) == pytest.approx(1.0, rel=0.15)
+
+    def test_empty_histogram(self):
+        h = Histogram("lat")
+        assert h.count() == 0
+        assert h.p50() == 0.0
+        assert h.percentile(99, missing="labels") == 0.0
+
+    def test_percentile_range_validated(self):
+        h = Histogram("lat")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_cumulative_buckets_monotone(self):
+        h = Histogram("lat")
+        rng = random.Random(7)
+        for _ in range(500):
+            h.observe(rng.lognormvariate(0, 2))
+        buckets = h.cumulative_buckets()
+        counts = [count for _, count in buckets]
+        uppers = [upper for upper, _ in buckets]
+        assert counts == sorted(counts)
+        assert uppers == sorted(uppers)
+        assert counts[-1] == 500
+
+
+def _random_registry(seed: int) -> MetricsRegistry:
+    rng = random.Random(seed)
+    reg = MetricsRegistry()
+    calls = reg.counter("calls")
+    lat = reg.histogram("lat")
+    mem = reg.gauge("mem")
+    for _ in range(200):
+        codec = rng.choice(["zstd", "lz4", "zlib"])
+        calls.inc(rng.randrange(1, 5), codec=codec)
+        lat.observe(rng.lognormvariate(-7, 1.5), codec=codec)
+        mem.inc(rng.randrange(100), shard=str(seed))
+    return reg
+
+
+class TestRegistryMerge:
+    def test_merge_is_associative(self):
+        """(a ⊕ b) ⊕ c  ==  a ⊕ (b ⊕ c), compared by full snapshot."""
+        left = MetricsRegistry()
+        left.merge(_random_registry(1))
+        left.merge(_random_registry(2))
+        left.merge(_random_registry(3))
+
+        bc = MetricsRegistry()
+        bc.merge(_random_registry(2))
+        bc.merge(_random_registry(3))
+        right = MetricsRegistry()
+        right.merge(_random_registry(1))
+        right.merge(bc)
+
+        assert registry_snapshot(left) == registry_snapshot(right)
+
+    def test_merge_matches_single_shard_recording(self):
+        """Sharded collection then merge == recording everything in one.
+
+        Bucket counts, extremes, and every percentile are exactly equal;
+        the running sum only up to float addition order.
+        """
+        merged = MetricsRegistry()
+        combined = MetricsRegistry()
+        lat = combined.histogram("lat")
+        for seed in (10, 11, 12):
+            shard = MetricsRegistry()
+            shard_lat = shard.histogram("lat")
+            rng = random.Random(seed)
+            for _ in range(100):
+                v = rng.lognormvariate(0, 1)
+                shard_lat.observe(v)
+                lat.observe(v)
+            merged.merge(shard)
+        got = merged.get("lat")
+        assert got.count() == lat.count() == 300
+        assert got.min() == lat.min()
+        assert got.max() == lat.max()
+        assert got.sum() == pytest.approx(lat.sum())
+        assert got.cumulative_buckets() == lat.cumulative_buckets()
+        for p in (1, 25, 50, 75, 90, 99, 100):
+            assert got.percentile(p) == lat.percentile(p)
+
+    def test_merge_kind_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("m")
+        b.gauge("m")
+        with pytest.raises(TypeError):
+            a.merge(b)
+
+    def test_get_or_create_kind_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError):
+            reg.histogram("m")

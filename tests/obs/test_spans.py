@@ -1,0 +1,100 @@
+"""Trace spans: nesting, flame paths, exception safety."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.spans import SPAN_METRIC, current_span
+
+
+class TestNesting:
+    def test_paths_join_with_semicolons(self, fresh_obs):
+        with obs.span("request"):
+            with obs.span("zstd.compress", level=3):
+                pass
+            with obs.span("rpc.send"):
+                with obs.span("zstd.decompress"):
+                    pass
+        flames = obs.flame_counts()
+        assert set(flames) == {
+            "request",
+            "request;zstd.compress",
+            "request;rpc.send",
+            "request;rpc.send;zstd.decompress",
+        }
+        count, total = flames["request;zstd.compress"]
+        assert count == 1 and total >= 0.0
+
+    def test_children_attach_to_parent_record(self, fresh_obs):
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                pass
+        assert [child.name for child in outer.children] == ["inner"]
+        roots = obs.recent_roots()
+        assert roots and roots[-1] is outer
+        assert [rec.name for rec in outer.walk()] == ["outer", "inner"]
+
+    def test_durations_nest(self, fresh_obs):
+        with obs.span("outer") as outer:
+            with obs.span("inner") as inner:
+                pass
+        assert outer.duration_seconds >= inner.duration_seconds >= 0.0
+
+    def test_current_span_tracks_stack(self, fresh_obs):
+        assert current_span() is None
+        with obs.span("a") as a:
+            assert current_span() is a
+            with obs.span("b") as b:
+                assert current_span() is b
+            assert current_span() is a
+        assert current_span() is None
+
+    def test_attributes_recorded(self, fresh_obs):
+        with obs.span("c", codec="zstd") as rec:
+            rec.set(level=3)
+        assert rec.attributes == {"codec": "zstd", "level": 3}
+
+
+class TestExceptionSafety:
+    def test_exception_propagates_and_stack_unwinds(self, fresh_obs):
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.span("will_fail"):
+                raise RuntimeError("boom")
+        # the stack is clean: a new span is a root, not a child of the dead one
+        assert current_span() is None
+        with obs.span("after"):
+            assert current_span().path == "after"
+
+    def test_error_flag_recorded(self, fresh_obs):
+        with pytest.raises(ValueError):
+            with obs.span("fails"):
+                raise ValueError()
+        hist = fresh_obs.get(SPAN_METRIC)
+        assert hist.count(path="fails", error="true") == 1
+        assert hist.count(path="fails", error="false") == 0
+        roots = obs.recent_roots()
+        assert roots[-1].error is True
+
+    def test_inner_failure_still_attributes_outer(self, fresh_obs):
+        with pytest.raises(KeyError):
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    raise KeyError()
+        hist = fresh_obs.get(SPAN_METRIC)
+        assert hist.count(path="outer;inner", error="true") == 1
+        assert hist.count(path="outer", error="true") == 1
+
+    def test_duration_recorded_despite_exception(self, fresh_obs):
+        with pytest.raises(RuntimeError):
+            with obs.span("fails") as rec:
+                raise RuntimeError()
+        assert rec.duration_seconds >= 0.0
+
+
+def test_reset_clears_roots_and_stack(fresh_obs):
+    with obs.span("a"):
+        pass
+    assert obs.recent_roots()
+    obs.reset_spans()
+    assert obs.recent_roots() == []

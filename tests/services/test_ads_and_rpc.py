@@ -97,3 +97,24 @@ class TestAdsInferenceService:
     def test_p99_at_least_mean(self):
         stats = AdsInferenceService(level=1).serve_batch("B", 5, seed=7)
         assert stats.p99_latency_seconds >= stats.mean_latency_seconds * 0.99
+
+
+class TestWireRatioEdgeCases:
+    """Regression: wire_ratio semantics when wire_bytes == 0."""
+
+    def test_idle_channel_is_neutral(self):
+        assert Channel(level=1).stats.wire_ratio == 1.0
+
+    def test_raw_bytes_without_wire_bytes_is_infinite(self):
+        """Raw traffic that produced zero wire bytes must not report the
+        neutral 1.0 — the saving is unbounded, not absent."""
+        from repro.services.rpc import RpcStats
+
+        stats = RpcStats(messages=1, raw_bytes=4096, wire_bytes=0)
+        assert stats.wire_ratio == float("inf")
+
+    def test_normal_traffic_unchanged(self):
+        channel = Channel(level=3)
+        channel.send(b"abcd" * 1000)
+        raw, wire = channel.stats.raw_bytes, channel.stats.wire_bytes
+        assert channel.stats.wire_ratio == pytest.approx(raw / wire)
