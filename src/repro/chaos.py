@@ -1,0 +1,501 @@
+"""``repro chaos``: the service stack under a named fault plan.
+
+Runs five end-to-end scenarios -- RPC, cache, kvstore, far memory, and
+managed compression -- with a :class:`~repro.faults.FaultInjector`
+perturbing each one, and reports a survival scorecard: per scenario, how
+many operations succeeded untouched (``ok``), how many were disturbed by a
+fault but saved by the resilience layer (``recovered``), and how many were
+abandoned (``failed``). No operation may escape as an unhandled exception;
+that is the contract the scorecard certifies.
+
+Everything is deterministic: payloads are fixed functions of the loop
+index, fault decisions come from the injector's string-seeded RNGs, and
+every latency is *modeled* time (the machine model, retry backoff math,
+and :class:`~repro.resilience.clock.SimClock`), never wall-clock. The same
+``(plan, seed, ops)`` therefore renders a byte-identical scorecard, which
+is what lets CI diff two runs.
+
+Recovery latency, observed into one log-bucketed histogram
+(:class:`~repro.obs.metrics.Histogram`, the PR-1 machinery), is the
+modeled time the recovery itself cost:
+
+- ``rpc``      -- end-to-end seconds of the delivered message, including
+                  every failed attempt and its backoff;
+- ``cache``    -- modeled re-compress time of the re-installed item plus
+                  a modeled re-fetch from the backing store over the wire;
+- ``kvstore``  -- block decode seconds of the re-read plus the modeled
+                  re-fetch;
+- ``farmem``   -- modeled decompress-fault seconds spent on the page,
+                  plus the re-fetch of its source data;
+- ``managed``  -- the modeled re-fetch of the blob's source data.
+
+The modeled re-fetch uses the default RPC link shape (10 Gb/s, 50 us
+propagation): recovery means going back to the source of truth, and that
+trip is the dominant, honest cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.codecs import get_codec
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyChannel,
+    FaultyCodec,
+    scrub_cache,
+    scrub_sstable,
+)
+from repro.obs.metrics import Histogram
+from repro.resilience import CircuitBreaker, RetryPolicy, SimClock
+from repro.services.cache.client import CacheClient
+from repro.services.cache.server import CacheServer
+from repro.services.farmemory import PAGE_SIZE, FarMemoryPool, PageLostError
+from repro.services.kvstore.db import KVStore
+from repro.services.managed import DictionaryRetiredError, ManagedCompression
+from repro.services.rpc import Channel, RpcExhaustedError
+
+#: modeled cost of one re-fetch from the source of truth (default link)
+_REFETCH_BANDWIDTH = 1.25e9  # bytes/second (10 Gb/s)
+_REFETCH_PROPAGATION = 50e-6
+
+
+def _refetch_seconds(size: int) -> float:
+    return _REFETCH_PROPAGATION + size / _REFETCH_BANDWIDTH
+
+
+@dataclass
+class ScenarioResult:
+    """One scenario's survival line."""
+
+    name: str
+    operations: int
+    ok: int
+    recovered: int
+    failed: int
+    #: deterministic scenario-specific extras, insertion-ordered
+    notes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def survived(self) -> int:
+        return self.ok + self.recovered
+
+
+@dataclass
+class ChaosReport:
+    """The full run: per-scenario lines plus fleet-wide fault accounting."""
+
+    plan: str
+    seed: int
+    scenarios: List[ScenarioResult]
+    #: modeled recovery latency, labeled by scenario (label ``source``)
+    recovery: Histogram
+    #: every (site, kind) fired, with counts, sorted
+    fault_breakdown: List[Tuple[str, str, int]]
+
+    @property
+    def operations(self) -> int:
+        return sum(s.operations for s in self.scenarios)
+
+    @property
+    def ok(self) -> int:
+        return sum(s.ok for s in self.scenarios)
+
+    @property
+    def recovered(self) -> int:
+        return sum(s.recovered for s in self.scenarios)
+
+    @property
+    def failed(self) -> int:
+        return sum(s.failed for s in self.scenarios)
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(count for __, __, count in self.fault_breakdown)
+
+
+# -- scenarios ----------------------------------------------------------------
+
+
+def _observe_recovery(report_histogram: Histogram, source: str, seconds: float) -> None:
+    report_histogram.observe(seconds, source=source)
+    report_histogram.observe(seconds, source="all")
+
+
+def _run_rpc(
+    injector: FaultInjector, seed: int, count: int, recovery: Histogram
+) -> ScenarioResult:
+    """Messages over a faulty wire; retry + backoff is the recovery."""
+    channel = Channel(
+        codec=get_codec("zstd"),
+        level=1,
+        timeout_seconds=0.05,
+        retry=RetryPolicy(
+            max_attempts=4, base_seconds=1e-3, cap_seconds=0.02, seed=seed
+        ),
+    )
+    faulty = FaultyChannel(channel, injector)
+    ok = recovered = failed = 0
+    for i in range(count):
+        payload = f"rpc message {i:05d} compressible body ".encode() * 48
+        before = channel.stats.recovered_messages
+        try:
+            received, elapsed = faulty.send(payload)
+        except RpcExhaustedError:
+            failed += 1
+            continue
+        if received != payload:
+            failed += 1  # silent corruption slipped the validator
+        elif channel.stats.recovered_messages > before:
+            recovered += 1
+            _observe_recovery(recovery, "rpc", elapsed)
+        else:
+            ok += 1
+    return ScenarioResult(
+        "rpc",
+        count,
+        ok,
+        recovered,
+        failed,
+        notes={
+            "retries": channel.stats.retries,
+            "drops": channel.stats.drops,
+            "timeouts": channel.stats.timeouts,
+            "corrupt_payloads": channel.stats.corrupt_payloads,
+        },
+    )
+
+
+def _run_cache(
+    injector: FaultInjector, seed: int, count: int, recovery: Histogram
+) -> ScenarioResult:
+    """Set/scrub/get; quarantine-and-refill from source is the recovery."""
+    clock = SimClock()
+    breaker = CircuitBreaker(
+        "chaos-cache-codec",
+        failure_threshold=3,
+        cooldown_seconds=1e-4,
+        clock=clock,
+    )
+    codec = FaultyCodec(get_codec("zstd"), injector, clock=clock)
+    server = CacheServer(
+        codec=codec, level=3, min_compress_size=32, breaker=breaker
+    )
+    client = CacheClient(server)
+    source: Dict[bytes, bytes] = {}
+    for i in range(count):
+        key = f"key-{i:05d}".encode()
+        value = f"cache item {i:05d} with shared structure ".encode() * 32
+        source[key] = value
+        server.set(key, "chaos-type", value)
+    scrub_cache(server, injector)
+    ok = recovered = failed = 0
+    for key, value in source.items():
+        got = client.get(key)
+        if got == value:
+            ok += 1
+            continue
+        # a miss or a wrong value: re-fetch from the source of truth,
+        # re-install, and serve again -- the cold-key path, by design
+        compress_before = server.stats.compress_seconds
+        server.set(key, "chaos-type", value)
+        got = client.get(key)
+        if got == value:
+            recovered += 1
+            _observe_recovery(
+                recovery,
+                "cache",
+                server.stats.compress_seconds
+                - compress_before
+                + _refetch_seconds(len(value)),
+            )
+        else:
+            failed += 1
+    return ScenarioResult(
+        "cache",
+        count,
+        ok,
+        recovered,
+        failed,
+        notes={
+            "corrupt_evictions": server.stats.corrupt_evictions,
+            "compress_failures": server.stats.compress_failures,
+            "raw_fallbacks": server.stats.raw_fallbacks,
+            "decode_failures": client.stats.decode_failures,
+        },
+    )
+
+
+def _run_kvstore(
+    injector: FaultInjector, seed: int, count: int, recovery: Histogram
+) -> ScenarioResult:
+    """Put/scrub/get; LSM redundancy and re-put are the recovery."""
+    store = KVStore(
+        codec=get_codec("zstd"),
+        compression_level=1,
+        block_size=2048,
+        memtable_bytes=4096,
+    )
+    source: Dict[bytes, bytes] = {}
+    for i in range(count):
+        key = f"user:{i:06d}".encode()
+        value = f"profile row {i:06d} with shared shape ".encode() * 8
+        source[key] = value
+        store.put(key, value)
+    store.flush()
+    damaged_blocks = 0
+    for level_tables in store.levels:
+        for table in level_tables:
+            damaged_blocks += len(scrub_sstable(table, injector))
+    ok = recovered = failed = 0
+    for key, value in source.items():
+        got = store.get(key)
+        if got == value:
+            ok += 1
+            continue
+        # the key's block rotted in every level that held it: re-fetch
+        # from the source of truth and write it back
+        store.put(key, value)
+        store.flush()
+        got = store.get(key)
+        if got == value:
+            recovered += 1
+            _observe_recovery(
+                recovery,
+                "kvstore",
+                store.stats.read_decode_seconds[-1]
+                + _refetch_seconds(len(value)),
+            )
+        else:
+            failed += 1
+    return ScenarioResult(
+        "kvstore",
+        count,
+        ok,
+        recovered,
+        failed,
+        notes={
+            "damaged_blocks": damaged_blocks,
+            "quarantined_blocks": store.quarantined_blocks,
+            "sst_count": store.sst_count,
+        },
+    )
+
+
+def _run_farmemory(
+    injector: FaultInjector, seed: int, count: int, recovery: Histogram
+) -> ScenarioResult:
+    """Cold pages through a faulty codec; retry/rebuild is the recovery."""
+    clock = SimClock()
+    breaker = CircuitBreaker(
+        "chaos-farmem-codec",
+        failure_threshold=3,
+        cooldown_seconds=2.0,
+        clock=clock,
+    )
+    codec = FaultyCodec(get_codec("zstd"), injector, clock=clock)
+    pool = FarMemoryPool(
+        codec=codec, cold_age_ticks=1, breaker=breaker, tick_seconds=1.0
+    )
+    source: Dict[int, bytes] = {}
+    for i in range(count):
+        data = f"far memory page {i:04d} cold contents ".encode() * 128
+        pool.write(i, data)
+        source[i] = data[:PAGE_SIZE].ljust(PAGE_SIZE, b"\x00")
+    for __ in range(4):
+        pool.tick()
+    ok = recovered = failed = 0
+    for i in range(count):
+        retries_before = pool.stats.decode_retries
+        fault_before = pool.stats.fault_seconds_total
+        try:
+            got = pool.read(i)
+        except PageLostError:
+            # the compressed image is gone: rebuild from the source of truth
+            pool.write(i, source[i])
+            if pool.read(i) == source[i]:
+                recovered += 1
+                _observe_recovery(
+                    recovery, "farmem", _refetch_seconds(PAGE_SIZE)
+                )
+            else:
+                failed += 1
+            continue
+        if got != source[i]:
+            failed += 1
+        elif pool.stats.decode_retries > retries_before:
+            # the transient-retry inside read() saved the fault
+            recovered += 1
+            _observe_recovery(
+                recovery,
+                "farmem",
+                pool.stats.fault_seconds_total - fault_before,
+            )
+        else:
+            ok += 1
+    return ScenarioResult(
+        "farmem",
+        count,
+        ok,
+        recovered,
+        failed,
+        notes={
+            "pages_compressed": pool.stats.pages_compressed,
+            "pages_lost": pool.stats.pages_lost,
+            "compression_skips": pool.stats.compression_skips,
+            "compress_failures": pool.stats.compress_failures,
+        },
+    )
+
+
+def _run_managed(
+    injector: FaultInjector, seed: int, count: int, recovery: Histogram
+) -> ScenarioResult:
+    """Dictionary churn and loss; the retired_handler is the recovery."""
+    source: Dict[int, bytes] = {}
+    current: Dict[str, int] = {"blob": -1}
+
+    def rebuild(error: DictionaryRetiredError) -> bytes:
+        # the stateless caller re-fetches the blob's plaintext from its
+        # own source of truth; the service only routes the request
+        return source[current["blob"]]
+
+    service = ManagedCompression(
+        codec=get_codec("zstd"), sample_every=1, retired_handler=rebuild
+    )
+    service.register_use_case(
+        "chaos-logs",
+        level=3,
+        dictionary_size=4096,
+        retrain_interval=8,
+        max_versions=1,
+    )
+    blobs = []
+    for i in range(count):
+        data = f"log line {i:04d}: request served from cache ".encode() * 8
+        source[i] = data
+        blobs.append(service.compress("chaos-logs", data))
+        if injector.should("managed.dictionary", "dict_loss"):
+            versions = service.available_versions("chaos-logs")
+            if versions:
+                service.drop_dictionary("chaos-logs", versions[0])
+    stats = service.stats("chaos-logs")
+    ok = recovered = failed = 0
+    for i, blob in enumerate(blobs):
+        current["blob"] = i
+        recoveries_before = stats.recoveries
+        try:
+            data = service.decompress(blob)
+        except DictionaryRetiredError:
+            failed += 1
+            continue
+        if data != source[i]:
+            failed += 1
+        elif stats.recoveries > recoveries_before:
+            recovered += 1
+            _observe_recovery(
+                recovery, "managed", _refetch_seconds(len(source[i]))
+            )
+        else:
+            ok += 1
+    return ScenarioResult(
+        "managed",
+        count,
+        ok,
+        recovered,
+        failed,
+        notes={
+            "retrains": stats.retrains,
+            "retired_blobs": stats.retired_blobs,
+            "dictionary_versions": len(service.available_versions("chaos-logs")),
+        },
+    )
+
+
+# -- the runner ---------------------------------------------------------------
+
+_SCENARIOS = (
+    (_run_rpc, 60),
+    (_run_cache, 80),
+    (_run_kvstore, 120),
+    (_run_farmemory, 40),
+    (_run_managed, 60),
+)
+
+
+def run_chaos(plan: str = "standard", seed: int = 7, ops: float = 1.0) -> ChaosReport:
+    """Run every scenario under ``plan``; returns the full report.
+
+    ``ops`` scales each scenario's operation count (0.25 = quick smoke).
+    One injector spans the run, so its per-spec RNG streams -- and with
+    them the whole scorecard -- are a pure function of ``(plan, seed,
+    ops)``.
+    """
+    fault_plan = FaultPlan.named(plan)
+    injector = FaultInjector(fault_plan, seed=seed)
+    recovery = Histogram(
+        "chaos_recovery_seconds", "modeled latency of each recovery"
+    )
+    scenarios = [
+        runner(injector, seed, max(1, round(base * ops)), recovery)
+        for runner, base in _SCENARIOS
+    ]
+    breakdown = sorted(
+        (site, kind, count) for (site, kind), count in injector.fired.items()
+    )
+    return ChaosReport(fault_plan.name, seed, scenarios, recovery, breakdown)
+
+
+def format_scorecard(report: ChaosReport) -> str:
+    """Render the report; byte-identical for identical reports."""
+    lines = [
+        f"chaos scorecard -- plan '{report.plan}', seed {report.seed}",
+        "",
+        f"{'scenario':10s} {'ops':>5s} {'ok':>5s} {'recovered':>9s} {'failed':>6s}",
+    ]
+    for scenario in report.scenarios:
+        lines.append(
+            f"{scenario.name:10s} {scenario.operations:5d} {scenario.ok:5d} "
+            f"{scenario.recovered:9d} {scenario.failed:6d}"
+        )
+    lines.append(
+        f"{'total':10s} {report.operations:5d} {report.ok:5d} "
+        f"{report.recovered:9d} {report.failed:6d}"
+    )
+    survived = report.ok + report.recovered
+    rate = survived / report.operations if report.operations else 1.0
+    lines.append("")
+    lines.append(
+        f"survived {survived}/{report.operations} operations ({rate * 100:.1f}%), "
+        f"{report.faults_injected} faults injected"
+    )
+    if report.fault_breakdown:
+        lines.append("faults by site:")
+        for site, kind, count in report.fault_breakdown:
+            lines.append(f"  {site} {kind}: {count}")
+    if report.recovery.count(source="all"):
+        lines.append("recovery latency (modeled):")
+        for source in ["all"] + sorted(
+            {s.name for s in report.scenarios if report.recovery.count(source=s.name)}
+        ):
+            count = report.recovery.count(source=source)
+            if not count:
+                continue
+            lines.append(
+                f"  {source:8s} n={count:<4d} "
+                f"p50={report.recovery.p50(source=source) * 1e3:8.3f} ms  "
+                f"p90={report.recovery.p90(source=source) * 1e3:8.3f} ms  "
+                f"p99={report.recovery.p99(source=source) * 1e3:8.3f} ms"
+            )
+    notes = []
+    for scenario in report.scenarios:
+        interesting = {k: v for k, v in scenario.notes.items() if v}
+        if interesting:
+            rendered = ", ".join(f"{k}={v}" for k, v in interesting.items())
+            notes.append(f"  {scenario.name}: {rendered}")
+    if notes:
+        lines.append("detail:")
+        lines.extend(notes)
+    return "\n".join(lines)

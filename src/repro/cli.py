@@ -11,6 +11,8 @@ Commands:
   Section-III characterization.
 - ``obs`` -- run an instrumented workload with telemetry enabled and emit
   the metrics snapshot (table, Prometheus text, or JSON lines).
+- ``chaos`` -- run the service stack under a named fault plan and print
+  the deterministic survival scorecard.
 """
 
 from __future__ import annotations
@@ -201,6 +203,26 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return run_obs_command(args)
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos import format_scorecard, run_chaos
+
+    report = run_chaos(plan=args.plan, seed=args.seed, ops=args.ops)
+    print(format_scorecard(report))
+    if report.failed > args.max_failed:
+        print(
+            f"\nFAIL: {report.failed} operations failed "
+            f"(--max-failed {args.max_failed})"
+        )
+        return 1
+    if report.recovered < args.min_recovered:
+        print(
+            f"\nFAIL: only {report.recovered} operations recovered "
+            f"(--min-recovered {args.min_recovered})"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -276,6 +298,29 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--output", default=None,
                      help="write the snapshot to a file instead of stdout")
     obs.set_defaults(func=_cmd_obs)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the service stack under a fault plan"
+    )
+    from repro.faults.plan import NAMED_PLANS
+
+    chaos.add_argument(
+        "--plan", default="standard", choices=sorted(NAMED_PLANS)
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument(
+        "--ops", type=float, default=1.0,
+        help="scale factor on each scenario's operation count",
+    )
+    chaos.add_argument(
+        "--min-recovered", type=int, default=0,
+        help="exit 1 unless at least this many operations recovered",
+    )
+    chaos.add_argument(
+        "--max-failed", type=int, default=10 ** 9,
+        help="exit 1 if more than this many operations failed",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

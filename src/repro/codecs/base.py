@@ -9,6 +9,7 @@ measurements on production hardware (see DESIGN.md section 1.2).
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field, fields
 from time import perf_counter
 from typing import Callable, Dict, List, Optional, Type
@@ -166,6 +167,24 @@ class Compressor:
         self._output_limit = max_output_bytes
         try:
             data = self._decompress(bytes(payload), dictionary, counters)
+        except CodecError:
+            raise
+        except (
+            IndexError,
+            KeyError,
+            ValueError,
+            OverflowError,
+            struct.error,
+            MemoryError,
+        ) as exc:
+            # The decode boundary: no malformed payload may escape as a
+            # low-level exception. Anything the format checks above missed
+            # (bad varint, short slice, out-of-range table index) is, by
+            # definition, corrupt input.
+            raise CorruptDataError(
+                f"{self.name}: malformed payload "
+                f"({type(exc).__name__}: {exc})"
+            ) from exc
         finally:
             self._output_limit = None
         if max_output_bytes is not None and len(data) > max_output_bytes:

@@ -110,6 +110,7 @@ class LZ4Compressor(Compressor):
             body = payload[pos : pos + block_size]
             pos += block_size
             if raw:
+                self._check_output_budget(len(out) + len(body))
                 out.extend(body)
                 counters.literal_bytes_copied += len(body)
             else:

@@ -226,12 +226,16 @@ class ZstdCompressor(Compressor):
             if block_type == _BLOCK_RAW:
                 if pos + size > len(payload):
                     raise CorruptDataError("truncated raw block")
+                self._check_output_budget(len(out) + size)
                 out.extend(payload[pos : pos + size])
                 counters.literal_bytes_copied += size
                 pos += size
             elif block_type == _BLOCK_RLE:
                 if pos >= len(payload):
                     raise CorruptDataError("truncated RLE block")
+                # budget check BEFORE the run is materialized: a corrupt
+                # size field must not allocate half a gigabyte first
+                self._check_output_budget(len(out) + size)
                 out.extend(bytes([payload[pos]]) * size)
                 counters.match_bytes_copied += size
                 pos += 1

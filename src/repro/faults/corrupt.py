@@ -1,0 +1,51 @@
+"""Deterministic payload-corruption primitives.
+
+Each function takes the caller's :class:`random.Random` so the same seed
+reproduces the same damage byte-for-byte. The three kinds model the
+storage/transport failures the decode hardening must survive: flipped
+bits (media/DMA errors), truncation (torn writes, cut connections), and
+garbage appended past the frame end (buffer reuse, bad length fields).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def flip_bits(data: bytes, rng: random.Random, flips: int = 1) -> bytes:
+    """Flip ``flips`` random bits; empty input is returned unchanged."""
+    if not data or flips < 1:
+        return data
+    out = bytearray(data)
+    for __ in range(flips):
+        position = rng.randrange(len(out))
+        out[position] ^= 1 << rng.randrange(8)
+    return bytes(out)
+
+
+def truncate(data: bytes, rng: random.Random) -> bytes:
+    """Cut the payload short by at least one byte (possibly to nothing)."""
+    if not data:
+        return data
+    return data[: rng.randrange(len(data))]
+
+
+def append_garbage(
+    data: bytes, rng: random.Random, max_bytes: int = 64
+) -> bytes:
+    """Append 1..max_bytes of random bytes past the frame end."""
+    count = rng.randint(1, max(1, max_bytes))
+    return data + bytes(rng.getrandbits(8) for __ in range(count))
+
+
+def corrupt(
+    data: bytes, kind: str, rng: random.Random, magnitude: float = 1.0
+) -> bytes:
+    """Apply one named payload fault; ``magnitude`` scales its severity."""
+    if kind == "bit_flip":
+        return flip_bits(data, rng, flips=max(1, round(magnitude)))
+    if kind == "truncate":
+        return truncate(data, rng)
+    if kind == "garbage":
+        return append_garbage(data, rng, max_bytes=max(1, round(magnitude * 64)))
+    raise ValueError(f"unknown payload fault kind {kind!r}")

@@ -32,7 +32,13 @@ CACHE_BYTES = "repro_cache_bytes_total"
 RPC_MESSAGES = "repro_rpc_messages_total"
 RPC_BYTES = "repro_rpc_bytes_total"
 RPC_SECONDS = "repro_rpc_message_seconds"
+RPC_RETRIES = "repro_rpc_retries_total"
+RPC_FAILED = "repro_rpc_failed_messages_total"
 FLEET_SAMPLES = "repro_fleet_cycle_samples_total"
+FAULTS_INJECTED = "repro_faults_injected_total"
+BREAKER_TRANSITIONS = "repro_resilience_breaker_transitions_total"
+QUARANTINES = "repro_resilience_quarantines_total"
+RECOVERY_SECONDS = "repro_resilience_recovery_seconds"
 
 
 def _level_label(level: Optional[int]) -> str:
@@ -167,6 +173,62 @@ def record_rpc_message(
     seconds.observe(compress_seconds, algorithm=algorithm, stage="compress")
     seconds.observe(transfer_seconds, algorithm=algorithm, stage="transfer")
     seconds.observe(decompress_seconds, algorithm=algorithm, stage="decompress")
+
+
+def record_rpc_retry(
+    reason: str, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One RPC attempt retried (reason: drop, timeout, corrupt)."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(RPC_RETRIES, help="RPC attempts retried").inc(1, reason=reason)
+
+
+def record_rpc_failure(
+    reason: str, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One RPC message abandoned after exhausting its retry budget."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(RPC_FAILED, help="RPC messages failed after retries").inc(
+        1, reason=reason
+    )
+
+
+def record_fault_injected(
+    site: str, kind: str, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One fault fired by the injection layer at ``site``."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(FAULTS_INJECTED, help="injected faults fired").inc(
+        1, site=site, kind=kind
+    )
+
+
+def record_breaker_transition(
+    breaker: str, to_state: str, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One circuit-breaker state transition."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(
+        BREAKER_TRANSITIONS, help="circuit breaker state transitions"
+    ).inc(1, breaker=breaker, to_state=to_state)
+
+
+def record_quarantine(
+    source: str, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One data unit quarantined after failing verified-decompress."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(QUARANTINES, help="data units quarantined").inc(1, source=source)
+
+
+def record_recovery(
+    source: str, seconds: float, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One successful recovery and its modeled latency."""
+    reg = registry if registry is not None else get_registry()
+    reg.histogram(
+        RECOVERY_SECONDS, help="modeled seconds to recover from a fault"
+    ).observe(seconds, source=source)
 
 
 def record_fleet_sample(

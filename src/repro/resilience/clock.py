@@ -1,0 +1,36 @@
+"""A simulated monotonic clock.
+
+Every resilience primitive that needs the passage of time (retry backoff,
+circuit-breaker cooldowns, recovery-latency accounting) reads a
+:class:`SimClock` instead of the wall clock, for the same reason the
+perfmodel substitutes modeled cycles for wall time (DESIGN.md §1.2):
+pure-Python wall-clock would make every timeout nondeterministic, and the
+chaos scorecard must be byte-identical for a given seed.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """Monotonic simulated time in seconds; advanced explicitly."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards ({seconds})")
+        self._now += seconds
+        return self._now
+
+    # duck-compatibility with time.sleep-shaped callers
+    sleep = advance
+
+    def __repr__(self) -> str:
+        return f"SimClock({self._now:.6f})"

@@ -1,0 +1,67 @@
+"""Capped exponential backoff with deterministic jitter.
+
+The retry discipline the RPC channel applies per message: attempt, and on
+a retryable failure wait ``base * multiplier^(attempt-1)`` (capped), with
+an "equal jitter" randomized fraction so synchronized clients do not
+retry in lockstep. Jitter is derived from ``(seed, key, attempt)`` via a
+string-seeded :class:`random.Random` -- stable across processes and runs
+(string seeding does not go through the salted ``hash()``), which is what
+makes a chaos run reproducible down to the byte.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget and backoff shape for one call site.
+
+    ``max_attempts`` counts the first try: 3 means one call plus at most
+    two retries. ``jitter`` is the fraction of each backoff that is
+    randomized; 0 gives a fully deterministic ladder.
+    """
+
+    max_attempts: int = 3
+    base_seconds: float = 1e-3
+    multiplier: float = 2.0
+    cap_seconds: float = 0.5
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_seconds < 0 or self.cap_seconds < 0:
+            raise ValueError("backoff times must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff_seconds(self, attempt: int, key: object = "") -> float:
+        """Wait before retry ``attempt`` (1 = after the first failure).
+
+        ``key`` names the logical operation (message id, page number) so
+        distinct operations jitter independently but reproducibly.
+        """
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = min(
+            self.cap_seconds,
+            self.base_seconds * self.multiplier ** (attempt - 1),
+        )
+        if not self.jitter or not raw:
+            return raw
+        rng = random.Random(f"retry:{self.seed}:{key}:{attempt}")
+        return raw * (1.0 - self.jitter) + raw * self.jitter * rng.random()
+
+    def schedule(self, key: object = "") -> Tuple[float, ...]:
+        """Every backoff this policy would apply, in order."""
+        return tuple(
+            self.backoff_seconds(attempt, key)
+            for attempt in range(1, self.max_attempts)
+        )

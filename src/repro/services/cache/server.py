@@ -12,10 +12,12 @@ from repro.codecs import (
     get_codec,
     train_dictionary,
 )
-from repro.codecs.base import StageCounters
-from repro.obs.instrument import record_cache_request
+from repro.codecs.base import CodecError, StageCounters
+from repro.obs.instrument import record_cache_request, record_quarantine
 from repro.obs.state import OBS_STATE
 from repro.perfmodel import DEFAULT_MACHINE, MachineModel
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.quarantine import QuarantinedBlock
 
 
 @dataclass
@@ -31,6 +33,13 @@ class CacheStats:
     network_bytes_served: int = 0
     compress_counters: StageCounters = field(default_factory=StageCounters)
     compress_seconds: float = 0.0
+    # -- resilience accounting --
+    #: items stored raw because the codec failed on them
+    compress_failures: int = 0
+    #: items stored raw because the circuit breaker was open
+    raw_fallbacks: int = 0
+    #: poisoned entries removed after failing client-side decompression
+    corrupt_evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -39,8 +48,15 @@ class CacheStats:
 
     @property
     def memory_ratio(self) -> float:
-        """Effective compression ratio of resident items."""
-        return self.raw_bytes / self.stored_bytes if self.stored_bytes else 1.0
+        """Effective compression ratio of resident items.
+
+        Follows the ``RpcStats.wire_ratio`` convention: neutral 1.0 only
+        when there has been no traffic at all; ``inf`` when raw bytes
+        came in but zero bytes were stored (degenerate all-empty values).
+        """
+        if self.stored_bytes:
+            return self.raw_bytes / self.stored_bytes
+        return float("inf") if self.raw_bytes else 1.0
 
 
 class CacheServer:
@@ -50,6 +66,12 @@ class CacheServer:
     exceeds the saving). With ``use_dictionaries=True`` a per-type
     dictionary, trained on sample items, is used for both compression and
     the client's decompression.
+
+    Resilience: an optional :class:`CircuitBreaker` guards the codec --
+    while it is open every item is stored raw (the bicriteria trade: a
+    failing compressor is swapped for the raw path), and a codec failure
+    on one item degrades that item to raw instead of failing the ``set``.
+    :meth:`quarantine` removes an entry a client found undecodable.
     """
 
     def __init__(
@@ -61,6 +83,7 @@ class CacheServer:
         min_compress_size: int = 64,
         capacity_bytes: Optional[int] = None,
         machine: MachineModel = DEFAULT_MACHINE,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.codec = codec if codec is not None else get_codec("zstd")
         self.level = level
@@ -72,6 +95,8 @@ class CacheServer:
         #: introduction.
         self.capacity_bytes = capacity_bytes
         self.machine = machine
+        #: trips the codec to raw passthrough after repeated failures
+        self.breaker = breaker
         self.dictionaries: Dict[str, CompressionDictionary] = {}
         #: key -> (type_name, compressed flag, stored bytes); LRU order
         self._store: "OrderedDict[bytes, Tuple[str, bool, bytes]]" = OrderedDict()
@@ -97,18 +122,44 @@ class CacheServer:
     # -- item operations ----------------------------------------------------------
 
     def set(self, key: bytes, type_name: str, value: bytes) -> None:
-        """Store an item, compressing it individually if worthwhile."""
+        """Store an item, compressing it individually if worthwhile.
+
+        Codec failures never fail the ``set``: the item falls back to raw
+        storage and the breaker (if any) accumulates the failure.
+        """
         self.stats.sets += 1
         self.stats.raw_bytes += len(value)
         if len(value) < self.min_compress_size:
             self._insert(bytes(key), type_name, False, bytes(value))
             return
+        if self.breaker is not None and not self.breaker.allow():
+            self.stats.raw_fallbacks += 1
+            self._insert(bytes(key), type_name, False, bytes(value))
+            if OBS_STATE.enabled:
+                record_cache_request("set", "raw_fallback", len(value))
+            return
         dictionary = self.dictionary_for(type_name)
-        result = self.codec.compress(value, self.level, dictionary=dictionary)
+        try:
+            result = self.codec.compress(value, self.level, dictionary=dictionary)
+        except CodecError:
+            self.stats.compress_failures += 1
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            self._insert(bytes(key), type_name, False, bytes(value))
+            if OBS_STATE.enabled:
+                record_cache_request("set", "compress_failed", len(value))
+            return
+        if self.breaker is not None:
+            self.breaker.record_success()
         self.stats.compress_counters.merge(result.counters)
-        self.stats.compress_seconds += self.machine.compress_seconds(
+        compress_seconds = self.machine.compress_seconds(
             self.codec.name, result.counters
         )
+        self.stats.compress_seconds += compress_seconds
+        if self.breaker is not None:
+            # modeled compression time moves the breaker's clock, so a
+            # cooldown expressed in seconds means modeled seconds
+            self.breaker.clock.advance(compress_seconds)
         if len(result.data) < len(value):
             self._insert(bytes(key), type_name, True, result.data)
         else:
@@ -149,6 +200,54 @@ class CacheServer:
         if OBS_STATE.enabled:
             record_cache_request("get", "hit", len(entry[2]))
         return entry
+
+    def quarantine(
+        self, key: bytes, reason: str = "failed verified-decompress"
+    ) -> Optional[QuarantinedBlock]:
+        """Evict a poisoned entry; returns the structured event (or None).
+
+        Called by clients whose decompression of the served bytes raised
+        :class:`~repro.codecs.base.CorruptDataError`: the entry is removed
+        so the next get is an honest miss (and a re-fetch from the backing
+        store), instead of every reader crashing on the same bytes.
+        """
+        key = bytes(key)
+        entry = self._store.pop(key, None)
+        if entry is None:
+            return None
+        self._resident_bytes -= len(entry[2])
+        self.stats.corrupt_evictions += 1
+        if OBS_STATE.enabled:
+            record_quarantine("cache.server")
+        return QuarantinedBlock(
+            source="cache.server",
+            identifier=repr(key),
+            codec=self.codec.name,
+            reason=reason,
+        )
+
+    # -- fault-injection support ----------------------------------------------
+
+    def stored_keys(self) -> Tuple[bytes, ...]:
+        """Every resident key, LRU order (coldest first)."""
+        return tuple(self._store)
+
+    def stored_entry(self, key: bytes) -> Tuple[str, bool, bytes]:
+        """One entry's (type, compressed flag, stored bytes) -- no stats,
+        no LRU touch, unlike :meth:`get_compressed`."""
+        return self._store[bytes(key)]
+
+    def replace_stored(self, key: bytes, payload: bytes) -> None:
+        """Overwrite one entry's stored bytes in place (media-decay injection).
+
+        Used by :func:`repro.faults.scrub_cache`; the compressed flag is
+        kept, so a damaged compressed entry exercises the client's
+        verified-decompress path on its next get.
+        """
+        key = bytes(key)
+        type_name, compressed, old = self._store[key]
+        self._store[key] = (type_name, compressed, bytes(payload))
+        self._resident_bytes += len(payload) - len(old)
 
     @property
     def resident_bytes(self) -> int:

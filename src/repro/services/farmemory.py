@@ -14,10 +14,27 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.codecs import Compressor, get_codec
-from repro.codecs.base import StageCounters
+from repro.codecs.base import CodecError, StageCounters
 from repro.perfmodel import DEFAULT_MACHINE, MachineModel
+from repro.resilience.breaker import CircuitBreaker
 
 PAGE_SIZE = 4096
+
+
+class PageLostError(RuntimeError):
+    """A compressed page could not be decoded back; its data is gone.
+
+    Carries ``page_number``; the page has been dropped from the pool, so
+    the owner's recovery is to reconstruct the page from its source of
+    truth and :meth:`FarMemoryPool.write` it again.
+    """
+
+    def __init__(self, page_number: int, reason: str = "") -> None:
+        super().__init__(
+            f"page {page_number} lost to corruption"
+            + (f" ({reason})" if reason else "")
+        )
+        self.page_number = page_number
 
 
 @dataclass
@@ -31,6 +48,15 @@ class FarMemoryStats:
     compress_counters: StageCounters = field(default_factory=StageCounters)
     decompress_counters: StageCounters = field(default_factory=StageCounters)
     fault_seconds_total: float = 0.0
+    # -- resilience accounting --
+    #: reclaim-pass compressions skipped because the breaker was open
+    compression_skips: int = 0
+    #: reclaim-pass compressions that raised (page stayed resident)
+    compress_failures: int = 0
+    #: fault-path decodes that needed the one transient retry
+    decode_retries: int = 0
+    #: pages dropped because their compressed image would not decode
+    pages_lost: int = 0
 
     @property
     def mean_fault_seconds(self) -> float:
@@ -62,12 +88,18 @@ class FarMemoryPool:
         cold_age_ticks: int = 4,
         min_saving: float = 0.10,
         machine: MachineModel = DEFAULT_MACHINE,
+        breaker: Optional[CircuitBreaker] = None,
+        tick_seconds: float = 1.0,
     ) -> None:
         self.codec = codec if codec is not None else get_codec("zstd")
         self.level = level
         self.cold_age_ticks = cold_age_ticks
         self.min_saving = min_saving
         self.machine = machine
+        #: trips reclaim-pass compression to "leave pages resident" when
+        #: the codec keeps failing; its clock advances tick_seconds/tick
+        self.breaker = breaker
+        self.tick_seconds = tick_seconds
         self._pages: Dict[int, _Page] = {}
         self._tick = 0
         self.stats = FarMemoryStats()
@@ -77,6 +109,8 @@ class FarMemoryPool:
     def tick(self) -> None:
         """Advance logical time and run one reclaim pass."""
         self._tick += 1
+        if self.breaker is not None:
+            self.breaker.clock.advance(self.tick_seconds)
         self._reclaim()
 
     @property
@@ -94,12 +128,27 @@ class FarMemoryPool:
         self.stats.pages_written += 1
 
     def read(self, page_number: int) -> bytes:
-        """Touch one page; faults it back in if it was compressed."""
+        """Touch one page; faults it back in if it was compressed.
+
+        The fault path is verified-decompress with one transient retry; a
+        page whose compressed image will not decode is dropped and
+        reported as :class:`PageLostError` (the owner rebuilds it from the
+        source of truth), never an unhandled codec exception.
+        """
         page = self._pages[page_number]
         page.last_access_tick = self._tick
         if page.data is not None:
             return page.data
-        result = self.codec.decompress(page.compressed)
+        try:
+            result = self.codec.decompress(page.compressed)
+        except CodecError:
+            self.stats.decode_retries += 1
+            try:
+                result = self.codec.decompress(page.compressed)
+            except CodecError as exc:
+                self.stats.pages_lost += 1
+                del self._pages[page_number]
+                raise PageLostError(page_number, str(exc)) from exc
         self.stats.decompress_counters.merge(result.counters)
         fault_seconds = self.machine.decompress_seconds(
             self.codec.name, result.counters
@@ -116,7 +165,21 @@ class FarMemoryPool:
                 continue
             if self._tick - page.last_access_tick < self.cold_age_ticks:
                 continue
-            result = self.codec.compress(page.data, self.level)
+            if self.breaker is not None and not self.breaker.allow():
+                self.stats.compression_skips += 1
+                page.last_access_tick = self._tick
+                continue
+            try:
+                result = self.codec.compress(page.data, self.level)
+            except CodecError:
+                self.stats.compress_failures += 1
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                # page stays resident; retried after it goes cold again
+                page.last_access_tick = self._tick
+                continue
+            if self.breaker is not None:
+                self.breaker.record_success()
             self.stats.compress_counters.merge(result.counters)
             if len(result.data) > PAGE_SIZE * (1 - self.min_saving):
                 self.stats.incompressible_pages += 1

@@ -65,6 +65,12 @@ class BlockCache:
             self._used -= len(evicted)
             self.stats.evictions += 1
 
+    def invalidate(self, key: CacheKey) -> None:
+        """Drop one entry (e.g. its backing block was rewritten)."""
+        block = self._entries.pop(key, None)
+        if block is not None:
+            self._used -= len(block)
+
     @property
     def used_bytes(self) -> int:
         return self._used

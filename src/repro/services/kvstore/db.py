@@ -242,3 +242,17 @@ class KVStore:
             for level_tables in self.levels
             for table in level_tables
         )
+
+    @property
+    def quarantined_blocks(self) -> int:
+        """Blocks removed from service after failing verified-decompress.
+
+        The read path treats a quarantined block as "key absent in this
+        table" and falls through to older levels, so LSM redundancy is the
+        recovery mechanism for storage corruption.
+        """
+        return sum(
+            table.quarantined_count
+            for level_tables in self.levels
+            for table in level_tables
+        )

@@ -12,15 +12,24 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
 from repro.codecs import Compressor, get_codec
-from repro.codecs.base import StageCounters
+from repro.codecs.base import CorruptDataError, StageCounters
 from repro.codecs.varint import read_uvarint, write_uvarint
-from repro.obs.instrument import record_block_decode
+from repro.obs.instrument import record_block_decode, record_quarantine
 from repro.obs.state import OBS_STATE
 from repro.perfmodel import DEFAULT_MACHINE, MachineModel
+from repro.resilience.quarantine import QuarantinedBlock
 from repro.services.kvstore.blockcache import BlockCache
 from repro.services.kvstore.bloom import BloomFilter
 
 _TOMBSTONE_FLAG = 1
+
+
+class BlockQuarantinedError(CorruptDataError):
+    """A block failed verified-decompress and has been quarantined."""
+
+    def __init__(self, block_index: int, reason: str) -> None:
+        super().__init__(f"block {block_index} quarantined: {reason}")
+        self.block_index = block_index
 
 
 @dataclass
@@ -37,6 +46,8 @@ class SSTableStats:
     bloom_skips: int = 0
     #: reads served from the decompressed-block cache
     cache_hits: int = 0
+    #: blocks that failed verified-decompress, removed from service
+    quarantined: List[QuarantinedBlock] = field(default_factory=list)
 
 
 def _encode_entry(out: bytearray, key: bytes, value: Optional[bytes]) -> None:
@@ -83,6 +94,8 @@ class SSTable:
         self.entry_count = 0  # filled by build()
         self._cache: Optional[BlockCache] = None
         self._bloom: Optional[BloomFilter] = None
+        #: indices of blocks that failed verified-decompress; never re-decoded
+        self._poisoned: set = set()
 
     # -- construction --------------------------------------------------------
 
@@ -165,15 +178,31 @@ class SSTable:
         return low
 
     def get(self, key: bytes) -> Tuple[bool, Optional[bytes], float]:
-        """Point lookup: (found, value, block_decode_seconds)."""
+        """Point lookup: (found, value, block_decode_seconds).
+
+        A corrupt block is quarantined and reported as *not found* here;
+        :meth:`KVStore.get <repro.services.kvstore.db.KVStore.get>` then
+        falls through to older tables -- the re-read-from-backing-store
+        recovery, since LSM redundancy often still holds the key.
+        """
         if self._bloom is not None and not self._bloom.might_contain(key):
             self.stats.bloom_skips += 1
             return False, None, 0.0
         block_index = self._locate_block(key)
         if block_index is None:
             return False, None, 0.0
-        raw, decode_seconds = self._load_block(block_index)
-        for entry_key, value in _decode_entries(raw):
+        try:
+            raw, decode_seconds = self._load_block(block_index)
+        except CorruptDataError:
+            return False, None, 0.0
+        try:
+            entries = list(_decode_entries(raw))
+        except (CorruptDataError, IndexError):
+            # the block decoded (checksum luck) but its entry framing is
+            # gibberish: silent corruption, quarantined like loud corruption
+            self._quarantine(block_index, "entry framing corrupt")
+            return False, None, decode_seconds
+        for entry_key, value in entries:
             if entry_key == key:
                 return True, value, decode_seconds
             if entry_key > key:
@@ -181,13 +210,24 @@ class SSTable:
         return False, None, decode_seconds
 
     def _load_block(self, block_index: int) -> Tuple[bytes, float]:
-        """Fetch one decompressed block, through the block cache if any."""
+        """Fetch one decompressed block, through the block cache if any.
+
+        Verified-decompress: a block that fails validation is quarantined
+        (recorded once, never re-decoded) and raises
+        :class:`BlockQuarantinedError`.
+        """
+        if block_index in self._poisoned:
+            raise BlockQuarantinedError(block_index, "previously quarantined")
         if self._cache is not None:
             cached = self._cache.get((id(self), block_index))
             if cached is not None:
                 self.stats.cache_hits += 1
                 return cached, 0.0
-        result = self._codec.decompress(self._blocks[block_index])
+        try:
+            result = self._codec.decompress(self._blocks[block_index])
+        except CorruptDataError as exc:
+            self._quarantine(block_index, str(exc))
+            raise BlockQuarantinedError(block_index, str(exc)) from exc
         self.stats.decompress_counters.merge(result.counters)
         self.stats.blocks_read += 1
         decode_seconds = self._machine.decompress_seconds(
@@ -199,13 +239,37 @@ class SSTable:
             self._cache.put((id(self), block_index), result.data)
         return result.data, decode_seconds
 
+    def _quarantine(self, block_index: int, reason: str) -> None:
+        self._poisoned.add(block_index)
+        self.stats.quarantined.append(
+            QuarantinedBlock(
+                source="kvstore.sst",
+                identifier=f"block {block_index}",
+                codec=self.codec_name,
+                reason=reason,
+            )
+        )
+        if OBS_STATE.enabled:
+            record_quarantine("kvstore.sst")
+
     def scan(self) -> Iterator[Tuple[bytes, Optional[bytes]]]:
-        """Iterate every entry in key order (used by compaction)."""
-        for block_index, block in enumerate(self._blocks):
-            result = self._codec.decompress(block)
+        """Iterate every entry in key order (used by compaction).
+
+        Quarantined blocks are skipped: compaction carries the surviving
+        data forward instead of dying on the damaged block.
+        """
+        for block_index in range(len(self._blocks)):
+            if block_index in self._poisoned:
+                continue
+            try:
+                result = self._codec.decompress(self._blocks[block_index])
+                entries = list(_decode_entries(result.data))
+            except (CorruptDataError, IndexError) as exc:
+                self._quarantine(block_index, str(exc) or "entry framing corrupt")
+                continue
             self.stats.decompress_counters.merge(result.counters)
             self.stats.blocks_read += 1
-            yield from _decode_entries(result.data)
+            yield from entries
 
     def scan_range(
         self, start: bytes, end: bytes
@@ -213,7 +277,8 @@ class SSTable:
         """Iterate entries with ``start <= key < end``.
 
         Only blocks overlapping the range are decompressed -- the range-read
-        analogue of the point-read block economics in Fig. 13.
+        analogue of the point-read block economics in Fig. 13. Quarantined
+        blocks are skipped.
         """
         if start >= end or not self._index:
             return
@@ -222,8 +287,15 @@ class SSTable:
         for block_index in range(first, len(self._blocks)):
             if self._index[block_index] >= end:
                 break
-            raw, __ = self._load_block(block_index)
-            for key, value in _decode_entries(raw):
+            try:
+                raw, __ = self._load_block(block_index)
+                entries = list(_decode_entries(raw))
+            except CorruptDataError:
+                continue
+            except IndexError:
+                self._quarantine(block_index, "entry framing corrupt")
+                continue
+            for key, value in entries:
                 if key >= end:
                     return
                 if key >= start:
@@ -232,6 +304,29 @@ class SSTable:
     @property
     def block_count(self) -> int:
         return len(self._blocks)
+
+    @property
+    def quarantined_count(self) -> int:
+        return len(self._poisoned)
+
+    # -- fault-injection support ----------------------------------------------
+
+    def block_bytes(self, block_index: int) -> bytes:
+        """The stored (compressed) bytes of one block."""
+        return self._blocks[block_index]
+
+    def replace_block(self, block_index: int, data: bytes) -> None:
+        """Overwrite one stored block in place (media-decay injection).
+
+        Used by :func:`repro.faults.scrub_sstable` to model permanent
+        storage corruption; any cached decode and poisoned marking for the
+        block is dropped so the next read re-verifies the new bytes.
+        """
+        self._blocks[block_index] = bytes(data)
+        self._poisoned.discard(block_index)
+        if self._cache is not None:
+            # drop the stale plaintext so reads see the damaged bytes
+            self._cache.invalidate((id(self), block_index))
 
     @property
     def stored_bytes(self) -> int:
@@ -277,8 +372,14 @@ class SSTable:
         block_cache: Optional[BlockCache] = None,
         rebuild_bloom: bool = False,
         bloom_bits_per_key: int = 10,
+        verify_blocks: bool = False,
     ) -> "SSTable":
-        """Load an SST file image produced by :meth:`to_bytes`."""
+        """Load an SST file image produced by :meth:`to_bytes`.
+
+        With ``verify_blocks=True`` every block is decode-verified at load
+        time (an RocksDB ``paranoid_checks``-style scrub); blocks that fail
+        are quarantined up front instead of at first read.
+        """
         from repro.codecs.base import CorruptDataError
 
         if payload[:4] != cls._FILE_MAGIC:
@@ -307,6 +408,12 @@ class SSTable:
         table._machine = machine
         table._codec = get_codec(codec_name)
         table._cache = block_cache
+        if verify_blocks:
+            for block_index, block in enumerate(blocks):
+                try:
+                    table._codec.decompress(block)
+                except CorruptDataError as exc:
+                    table._quarantine(block_index, f"load-time scrub: {exc}")
         if rebuild_bloom and entry_count:
             bloom = BloomFilter(entry_count, bloom_bits_per_key)
             for key, __ in table.scan():

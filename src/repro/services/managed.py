@@ -11,13 +11,18 @@ dictionaries using previous samples". This module implements that service:
   compressed under older dictionaries remain decodable;
 - blobs are self-describing (use case config version travels with the
   payload).
+
+Resilience: decompressing a blob whose dictionary version is gone (retired
+past the retention window, or lost to an injected fault) raises the typed
+:class:`DictionaryRetiredError`; a ``retired_handler`` hook lets the owner
+rebuild the blob from its source of truth instead of crashing.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.codecs import Compressor, get_codec, train_dictionary
 from repro.codecs.base import CodecError
@@ -32,6 +37,26 @@ class ManagedBlob:
     payload: bytes
 
 
+class DictionaryRetiredError(CodecError):
+    """The blob names a dictionary version the service no longer holds.
+
+    Carries enough context (``use_case``, ``version``, ``available``) for
+    the caller to decide between re-fetching the blob's source data and
+    declaring it rotted.
+    """
+
+    def __init__(
+        self, use_case: str, version: int, available: Tuple[int, ...]
+    ) -> None:
+        super().__init__(
+            f"dictionary version {version} for {use_case!r} has been "
+            f"retired (available: {list(available) or 'none'})"
+        )
+        self.use_case = use_case
+        self.version = version
+        self.available = available
+
+
 @dataclass
 class UseCaseStats:
     """Accounting per use case."""
@@ -41,10 +66,22 @@ class UseCaseStats:
     raw_bytes: int = 0
     compressed_bytes: int = 0
     retrains: int = 0
+    # -- resilience accounting --
+    #: decompress calls that hit a retired/lost dictionary version
+    retired_blobs: int = 0
+    #: retired blobs recovered through the retired_handler hook
+    recoveries: int = 0
 
     @property
     def ratio(self) -> float:
-        return self.raw_bytes / self.compressed_bytes if self.compressed_bytes else 1.0
+        """Compression ratio, following the ``RpcStats.wire_ratio`` convention.
+
+        Neutral 1.0 only with no traffic; ``inf`` when raw bytes went in
+        but zero compressed bytes came out (degenerate all-empty inputs).
+        """
+        if self.compressed_bytes:
+            return self.raw_bytes / self.compressed_bytes
+        return float("inf") if self.raw_bytes else 1.0
 
 
 @dataclass
@@ -68,6 +105,9 @@ class ManagedCompression:
         self,
         codec: Optional[Compressor] = None,
         sample_every: int = 4,
+        retired_handler: Optional[
+            Callable[[DictionaryRetiredError], Optional[bytes]]
+        ] = None,
     ) -> None:
         self.codec = codec if codec is not None else get_codec("zstd")
         if not self.codec.supports_dictionaries():
@@ -76,6 +116,10 @@ class ManagedCompression:
                 f"not {self.codec.name}"
             )
         self.sample_every = max(1, sample_every)
+        #: called when a blob's dictionary version is gone; returns the
+        #: recovered plaintext (from the blob's source of truth) or None
+        #: to let the error propagate
+        self.retired_handler = retired_handler
         self._use_cases: Dict[str, _UseCaseState] = {}
 
     def register_use_case(
@@ -115,13 +159,22 @@ class ManagedCompression:
         ):
             self._retrain(use_case)
         dictionary = state.dictionaries.get(state.current_version)
+        # a lost current dictionary degrades to dictionary-less compression,
+        # and the blob must say so (version 0), not name the missing version
+        version = state.current_version if dictionary is not None else 0
         result = self.codec.compress(data, state.level, dictionary=dictionary)
         state.stats.raw_bytes += len(data)
         state.stats.compressed_bytes += len(result.data)
-        return ManagedBlob(use_case, state.current_version, result.data)
+        return ManagedBlob(use_case, version, result.data)
 
     def decompress(self, blob: ManagedBlob) -> bytes:
-        """Decompress a blob under the dictionary version it names."""
+        """Decompress a blob under the dictionary version it names.
+
+        A missing (retired or lost) version raises the typed
+        :class:`DictionaryRetiredError` -- unless a ``retired_handler`` is
+        installed and can rebuild the plaintext, in which case the call
+        succeeds and the recovery is counted.
+        """
         state = self._state(blob.use_case)
         state.stats.decompress_calls += 1
         if blob.dictionary_version == 0:
@@ -129,10 +182,18 @@ class ManagedCompression:
         else:
             dictionary = state.dictionaries.get(blob.dictionary_version)
             if dictionary is None:
-                raise CodecError(
-                    f"dictionary version {blob.dictionary_version} for "
-                    f"{blob.use_case!r} has been retired"
+                state.stats.retired_blobs += 1
+                error = DictionaryRetiredError(
+                    blob.use_case,
+                    blob.dictionary_version,
+                    tuple(sorted(state.dictionaries)),
                 )
+                if self.retired_handler is not None:
+                    recovered = self.retired_handler(error)
+                    if recovered is not None:
+                        state.stats.recoveries += 1
+                        return recovered
+                raise error
         return self.codec.decompress(blob.payload, dictionary=dictionary).data
 
     # -- training --------------------------------------------------------------
@@ -162,6 +223,19 @@ class ManagedCompression:
         """Retrain now; returns the new current version."""
         self._retrain(use_case)
         return self._state(use_case).current_version
+
+    def drop_dictionary(self, use_case: str, version: int) -> bool:
+        """Lose one dictionary version (fault injection / forced retire).
+
+        Returns True if the version existed. Blobs naming it now take the
+        :class:`DictionaryRetiredError` path; compression falls back to
+        dictionary-less if the *current* version is the one dropped.
+        """
+        state = self._state(use_case)
+        if version not in state.dictionaries:
+            return False
+        del state.dictionaries[version]
+        return True
 
     # -- introspection -----------------------------------------------------------
 

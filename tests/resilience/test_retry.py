@@ -1,0 +1,69 @@
+"""RetryPolicy: backoff shape, cap, and deterministic jitter."""
+
+import pytest
+
+from repro.resilience import RetryPolicy
+
+
+class TestValidation:
+    def test_max_attempts_at_least_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+    def test_multiplier_at_least_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+    def test_jitter_is_fraction(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_seconds(0)
+
+
+class TestBackoffShape:
+    def test_jitterless_exponential_ladder(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_seconds=0.001, multiplier=2.0,
+            cap_seconds=10.0, jitter=0.0,
+        )
+        assert policy.schedule() == (0.001, 0.002, 0.004, 0.008)
+
+    def test_cap_bounds_every_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=20, base_seconds=0.001, multiplier=3.0,
+            cap_seconds=0.05, jitter=0.5,
+        )
+        assert all(b <= 0.05 for b in policy.schedule())
+        # deep attempts sit at the cap (modulo jitter shrink)
+        assert policy.backoff_seconds(15) >= 0.05 * 0.5
+
+    def test_jitter_stays_within_equal_jitter_band(self):
+        policy = RetryPolicy(base_seconds=0.01, multiplier=1.0, jitter=0.4)
+        for attempt in range(1, 10):
+            backoff = policy.backoff_seconds(attempt, key="op")
+            assert 0.01 * 0.6 <= backoff <= 0.01
+
+
+class TestDeterminism:
+    def test_same_inputs_same_backoff(self):
+        a = RetryPolicy(seed=3).backoff_seconds(2, key="message-9")
+        b = RetryPolicy(seed=3).backoff_seconds(2, key="message-9")
+        assert a == b
+
+    def test_distinct_keys_jitter_independently(self):
+        policy = RetryPolicy(seed=3)
+        values = {policy.backoff_seconds(2, key=k) for k in range(20)}
+        assert len(values) > 1  # not lockstep
+
+    def test_seed_changes_jitter(self):
+        assert RetryPolicy(seed=1).backoff_seconds(2, key="k") != RetryPolicy(
+            seed=2
+        ).backoff_seconds(2, key="k")
+
+    def test_policy_is_frozen(self):
+        policy = RetryPolicy()
+        with pytest.raises(Exception):
+            policy.max_attempts = 99

@@ -1,0 +1,85 @@
+"""Degenerate-denominator ratio semantics, aligned across services.
+
+Regression tests for the convention set by ``RpcStats.wire_ratio``:
+neutral 1.0 only when there has been *no traffic at all*; ``inf`` when
+raw bytes went in but zero bytes came out the other side. Before this
+was unified, ``CacheStats.memory_ratio`` and ``UseCaseStats.ratio``
+reported a misleading 1.0 for the degenerate non-empty case.
+"""
+
+import math
+
+import pytest
+
+from repro.codecs import get_codec
+from repro.services.cache.server import CacheServer, CacheStats
+from repro.services.managed import ManagedCompression, UseCaseStats
+from repro.services.rpc import RpcStats
+
+
+class TestWireRatioConvention:
+    """The reference semantics the other two must match."""
+
+    def test_no_traffic_is_neutral(self):
+        assert RpcStats().wire_ratio == 1.0
+
+    def test_zero_denominator_with_traffic_is_inf(self):
+        stats = RpcStats(raw_bytes=100, wire_bytes=0)
+        assert math.isinf(stats.wire_ratio)
+
+    def test_normal_ratio(self):
+        assert RpcStats(raw_bytes=100, wire_bytes=25).wire_ratio == 4.0
+
+
+class TestCacheMemoryRatio:
+    def test_no_traffic_is_neutral(self):
+        assert CacheStats().memory_ratio == 1.0
+
+    def test_zero_stored_with_raw_traffic_is_inf(self):
+        stats = CacheStats(raw_bytes=512, stored_bytes=0)
+        assert math.isinf(stats.memory_ratio)
+
+    def test_normal_ratio(self):
+        assert CacheStats(raw_bytes=100, stored_bytes=50).memory_ratio == 2.0
+
+    def test_matches_wire_ratio_semantics(self):
+        for raw, denom in [(0, 0), (64, 0), (64, 32)]:
+            assert (
+                CacheStats(raw_bytes=raw, stored_bytes=denom).memory_ratio
+                == RpcStats(raw_bytes=raw, wire_bytes=denom).wire_ratio
+            )
+
+    def test_integration_fresh_server_is_neutral(self):
+        server = CacheServer(codec=get_codec("zstd"))
+        assert server.stats.memory_ratio == 1.0
+
+
+class TestUseCaseRatio:
+    def test_no_traffic_is_neutral(self):
+        assert UseCaseStats().ratio == 1.0
+
+    def test_zero_compressed_with_raw_traffic_is_inf(self):
+        stats = UseCaseStats(raw_bytes=256, compressed_bytes=0)
+        assert math.isinf(stats.ratio)
+
+    def test_normal_ratio(self):
+        assert UseCaseStats(raw_bytes=300, compressed_bytes=100).ratio == 3.0
+
+    def test_matches_wire_ratio_semantics(self):
+        for raw, denom in [(0, 0), (64, 0), (64, 16)]:
+            assert (
+                UseCaseStats(raw_bytes=raw, compressed_bytes=denom).ratio
+                == RpcStats(raw_bytes=raw, wire_bytes=denom).wire_ratio
+            )
+
+    def test_integration_fresh_use_case_is_neutral(self):
+        service = ManagedCompression(codec=get_codec("zstd"))
+        service.register_use_case("fresh")
+        assert service.stats("fresh").ratio == 1.0
+
+    def test_integration_real_traffic_is_finite(self):
+        service = ManagedCompression(codec=get_codec("zstd"))
+        blob = service.compress("logs", b"compressible body " * 50)
+        ratio = service.stats("logs").ratio
+        assert ratio > 1.0 and math.isfinite(ratio)
+        assert service.decompress(blob) == b"compressible body " * 50

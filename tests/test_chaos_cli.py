@@ -1,0 +1,101 @@
+"""The chaos runner and its CLI: determinism, survival, exit codes."""
+
+import pytest
+
+from repro.chaos import format_scorecard, run_chaos
+from repro.cli import main
+
+
+class TestRunChaos:
+    def test_standard_plan_recovers_and_never_crashes(self):
+        report = run_chaos(plan="standard", seed=7, ops=0.5)
+        assert report.recovered > 0
+        assert report.failed == 0
+        assert report.ok + report.recovered == report.operations
+        assert report.faults_injected > 0
+
+    def test_byte_identical_across_runs(self):
+        first = format_scorecard(run_chaos(plan="standard", seed=7, ops=0.5))
+        second = format_scorecard(run_chaos(plan="standard", seed=7, ops=0.5))
+        assert first == second
+
+    def test_seed_changes_the_scorecard(self):
+        first = format_scorecard(run_chaos(plan="standard", seed=7, ops=0.5))
+        second = format_scorecard(run_chaos(plan="standard", seed=8, ops=0.5))
+        assert first != second
+
+    def test_none_plan_injects_nothing(self):
+        report = run_chaos(plan="none", seed=7, ops=0.25)
+        assert report.faults_injected == 0
+        assert report.failed == 0
+        assert report.fault_breakdown == []
+
+    def test_every_named_plan_survives(self):
+        from repro.faults import NAMED_PLANS
+
+        for name in NAMED_PLANS:
+            report = run_chaos(plan=name, seed=3, ops=0.25)
+            assert report.operations > 0
+            # the resilience contract: no operation may be lost silently --
+            # every one lands in exactly one of ok/recovered/failed
+            assert report.ok + report.recovered + report.failed == report.operations
+
+    def test_ops_scales_operation_counts(self):
+        small = run_chaos(plan="none", seed=1, ops=0.25)
+        full = run_chaos(plan="none", seed=1, ops=1.0)
+        assert small.operations < full.operations
+
+    def test_unknown_plan_raises(self):
+        with pytest.raises(ValueError, match="available"):
+            run_chaos(plan="hurricane", seed=1)
+
+    def test_recovery_latency_histogram_populated(self):
+        report = run_chaos(plan="standard", seed=7, ops=0.5)
+        count = report.recovery.count(source="all")
+        assert count == report.recovered
+        assert report.recovery.p50(source="all") >= 0.0
+
+
+class TestScorecardFormat:
+    def test_contains_every_scenario_line(self):
+        report = run_chaos(plan="standard", seed=7, ops=0.25)
+        text = format_scorecard(report)
+        for name in ["rpc", "cache", "kvstore", "farmem", "managed", "total"]:
+            assert name in text
+        assert "plan 'standard', seed 7" in text
+
+    def test_none_plan_omits_fault_breakdown(self):
+        text = format_scorecard(run_chaos(plan="none", seed=7, ops=0.25))
+        assert "faults by site" not in text
+        assert "0 faults injected" in text
+
+
+class TestChaosCli:
+    def test_exit_zero_on_survival(self, capsys):
+        code = main(
+            ["chaos", "--plan", "standard", "--seed", "7", "--ops", "0.25",
+             "--min-recovered", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "chaos scorecard" in out
+
+    def test_exit_one_when_min_recovered_unmet(self, capsys):
+        code = main(
+            ["chaos", "--plan", "none", "--seed", "7", "--ops", "0.25",
+             "--min-recovered", "10000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out
+
+    def test_exit_one_when_max_failed_exceeded(self, capsys):
+        code = main(
+            ["chaos", "--plan", "standard", "--seed", "7", "--ops", "0.25",
+             "--max-failed", "-1"]
+        )
+        assert code == 1
+
+    def test_rejects_unknown_plan(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--plan", "hurricane"])
