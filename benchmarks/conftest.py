@@ -25,11 +25,13 @@ _RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def figure_output():
     """Writer: figure_output(name, text) prints and persists figure data."""
-    _RESULTS_DIR.mkdir(exist_ok=True)
+    _RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
     def write(name: str, text: str) -> None:
         path = _RESULTS_DIR / f"{name}.txt"
-        path.write_text(text + "\n")
-        print(f"\n=== {name} ===\n{text}\n")
+        if not text.endswith("\n"):
+            text += "\n"
+        path.write_text(text)
+        print(f"\n=== {name} ===\n{text}")
 
     return write

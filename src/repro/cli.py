@@ -44,13 +44,30 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     codec = get_codec(args.codec)
     dictionary = _read(args.dictionary) if args.dictionary else None
     data = _read(args.input)
-    result = codec.compress(data, args.level, dictionary=dictionary)
+    if args.jobs != 1 or args.chunk_size is not None:
+        from repro.parallel import DEFAULT_CHUNK_SIZE, compress_chunked
+
+        chunk_size = (
+            args.chunk_size if args.chunk_size is not None else DEFAULT_CHUNK_SIZE
+        )
+        result = compress_chunked(
+            codec,
+            data,
+            args.level,
+            dictionary=dictionary,
+            chunk_size=chunk_size,
+            jobs=args.jobs,
+        )
+        detail = f", {result.chunk_count} chunks x {chunk_size} B"
+    else:
+        result = codec.compress(data, args.level, dictionary=dictionary)
+        detail = ""
     _write(args.output, result.data)
     if args.output != "-":
         speed = DEFAULT_MACHINE.compress_speed(codec.name, result.counters)
         print(
             f"{len(data)} -> {len(result.data)} bytes "
-            f"(ratio {result.ratio:.2f}, modeled {speed / 1e6:.0f} MB/s)"
+            f"(ratio {result.ratio:.2f}, modeled {speed / 1e6:.0f} MB/s{detail})"
         )
     return 0
 
@@ -59,7 +76,14 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     codec = get_codec(args.codec)
     dictionary = _read(args.dictionary) if args.dictionary else None
     payload = _read(args.input)
-    result = codec.decompress(payload, dictionary=dictionary)
+    if args.jobs != 1:
+        from repro.parallel import decompress_chunked
+
+        result = decompress_chunked(
+            codec, payload, dictionary=dictionary, jobs=args.jobs
+        )
+    else:
+        result = codec.decompress(payload, dictionary=dictionary)
     _write(args.output, result.data)
     if args.output != "-":
         print(f"{len(payload)} -> {len(result.data)} bytes")
@@ -194,6 +218,12 @@ def _cmd_fleet_report(args: argparse.Namespace) -> int:
             continue
         print(f"  {category:17s} {share * 100:5.2f}%")
     print(f"levels 1-4 cycle share: {result.low_level_share(4) * 100:.1f}%")
+    if args.measure:
+        from repro.fleet import format_fleet_sweep, run_fleet_sweep
+
+        sweep = run_fleet_sweep(jobs=args.jobs, payload_bytes=args.measure_bytes)
+        print(f"\nmeasured sweep ({len(sweep)} cells, jobs={args.jobs}):")
+        print(format_fleet_sweep(sweep))
     return 0
 
 
@@ -236,6 +266,14 @@ def build_parser() -> argparse.ArgumentParser:
     compress.add_argument("--codec", default="zstd", choices=available_codecs())
     compress.add_argument("--level", type=int, default=None)
     compress.add_argument("--dictionary", default=None)
+    compress.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for chunked compression (0 = all cores)",
+    )
+    compress.add_argument(
+        "--chunk-size", type=int, default=None,
+        help="bytes per independent frame (implies chunked mode; default 128 KiB)",
+    )
     compress.set_defaults(func=_cmd_compress)
 
     decompress = sub.add_parser("decompress", help="decompress a file")
@@ -243,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
     decompress.add_argument("output")
     decompress.add_argument("--codec", default="zstd", choices=available_codecs())
     decompress.add_argument("--dictionary", default=None)
+    decompress.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for multi-frame decode (0 = all cores)",
+    )
     decompress.set_defaults(func=_cmd_decompress)
 
     inspect = sub.add_parser("inspect", help="show zstd frame metadata")
@@ -282,6 +324,18 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--days", type=int, default=30)
     fleet.add_argument("--samples-per-day", type=int, default=200_000)
     fleet.add_argument("--seed", type=int, default=30)
+    fleet.add_argument(
+        "--measure", action="store_true",
+        help="also run the measured (service, codec, level) sweep",
+    )
+    fleet.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the measured sweep (0 = all cores)",
+    )
+    fleet.add_argument(
+        "--measure-bytes", type=int, default=4096,
+        help="payload bytes per measured sweep cell",
+    )
     fleet.set_defaults(func=_cmd_fleet_report)
 
     obs = sub.add_parser(

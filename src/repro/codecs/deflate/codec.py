@@ -92,20 +92,38 @@ class ZlibCompressor(Compressor):
     ) -> bytes:
         if len(payload) < 6:
             raise CorruptDataError("zlib stream too short")
-        cmf, flg = payload[0], payload[1]
-        if cmf & 0x0F != 8:
-            raise CorruptDataError("unsupported zlib compression method")
-        if (cmf * 256 + flg) % 31:
-            raise CorruptDataError("bad zlib header check")
-        if flg & 0x20:
-            raise CorruptDataError("preset dictionaries are not supported")
-        data = ddec.decode_stream(
-            payload[2:-4], counters, budget_check=self._check_output_budget
-        )
-        stored = int.from_bytes(payload[-4:], "big")
-        if stored != adler32(data):
-            raise CorruptDataError("Adler-32 checksum mismatch")
-        return data
+        out = bytearray()
+        pos = 0
+        # Concatenated members decode as the concatenation of their
+        # contents -- the multi-frame contract the parallel chunked
+        # engine relies on (each chunk is one independent member).
+        while pos < len(payload):
+            if len(payload) - pos < 6:
+                raise CorruptDataError("truncated zlib member")
+            cmf, flg = payload[pos], payload[pos + 1]
+            if cmf & 0x0F != 8:
+                raise CorruptDataError("unsupported zlib compression method")
+            if (cmf * 256 + flg) % 31:
+                raise CorruptDataError("bad zlib header check")
+            if flg & 0x20:
+                raise CorruptDataError("preset dictionaries are not supported")
+            base = len(out)
+            data, end = ddec.decode_stream(
+                payload,
+                counters,
+                budget_check=lambda produced, base=base: self._check_output_budget(
+                    base + produced
+                ),
+                start=pos + 2,
+            )
+            if end + 4 > len(payload):
+                raise CorruptDataError("missing Adler-32 trailer")
+            stored = int.from_bytes(payload[end : end + 4], "big")
+            if stored != adler32(data):
+                raise CorruptDataError("Adler-32 checksum mismatch")
+            out.extend(data)
+            pos = end + 4
+        return bytes(out)
 
 
 class GzipCompressor(ZlibCompressor):
@@ -142,20 +160,17 @@ class GzipCompressor(ZlibCompressor):
         out.extend((len(data) & 0xFFFFFFFF).to_bytes(4, "little"))
         return bytes(out)
 
-    def _decompress(
-        self,
-        payload: bytes,
-        dictionary: Optional[bytes],
-        counters: StageCounters,
-    ) -> bytes:
-        if len(payload) < 18:
+    @staticmethod
+    def _member_header_end(payload: bytes, pos: int) -> int:
+        """Validate one member header at ``pos``; returns the deflate offset."""
+        if len(payload) - pos < 18:
             raise CorruptDataError("gzip stream too short")
-        if payload[:2] != b"\x1f\x8b":
+        if payload[pos : pos + 2] != b"\x1f\x8b":
             raise CorruptDataError("bad gzip magic")
-        if payload[2] != 8:
+        if payload[pos + 2] != 8:
             raise CorruptDataError("unsupported gzip compression method")
-        flags = payload[3]
-        pos = 10
+        flags = payload[pos + 3]
+        pos += 10
         if flags & 0x04:  # FEXTRA
             if pos + 2 > len(payload):
                 raise CorruptDataError("truncated gzip extra field")
@@ -175,16 +190,43 @@ class GzipCompressor(ZlibCompressor):
             pos += 2
         if pos + 8 > len(payload):
             raise CorruptDataError("gzip stream truncated")
-        data = ddec.decode_stream(
-            payload[pos:-8], counters, budget_check=self._check_output_budget
-        )
-        stored_crc = int.from_bytes(payload[-8:-4], "little")
-        stored_size = int.from_bytes(payload[-4:], "little")
-        if stored_crc != crc32(data):
-            raise CorruptDataError("gzip CRC-32 mismatch")
-        if stored_size != len(data) & 0xFFFFFFFF:
-            raise CorruptDataError("gzip size mismatch")
-        return data
+        return pos
+
+    def _decompress(
+        self,
+        payload: bytes,
+        dictionary: Optional[bytes],
+        counters: StageCounters,
+    ) -> bytes:
+        if len(payload) < 18:
+            raise CorruptDataError("gzip stream too short")
+        out = bytearray()
+        pos = 0
+        # RFC 1952 multi-member: a gzip file is any number of concatenated
+        # members, decoded as the concatenation of their contents (stdlib
+        # ``gzip`` does the same, which the oracle tests exploit).
+        while pos < len(payload):
+            deflate_start = self._member_header_end(payload, pos)
+            base = len(out)
+            data, end = ddec.decode_stream(
+                payload,
+                counters,
+                budget_check=lambda produced, base=base: self._check_output_budget(
+                    base + produced
+                ),
+                start=deflate_start,
+            )
+            if end + 8 > len(payload):
+                raise CorruptDataError("missing gzip trailer")
+            stored_crc = int.from_bytes(payload[end : end + 4], "little")
+            stored_size = int.from_bytes(payload[end + 4 : end + 8], "little")
+            if stored_crc != crc32(data):
+                raise CorruptDataError("gzip CRC-32 mismatch")
+            if stored_size != len(data) & 0xFFFFFFFF:
+                raise CorruptDataError("gzip size mismatch")
+            out.extend(data)
+            pos = end + 8
+        return bytes(out)
 
 
 register_codec("zlib", ZlibCompressor)

@@ -44,15 +44,20 @@ def _read_dynamic_tables(reader: BitReader) -> Tuple[HuffmanDecoder, HuffmanDeco
 
 
 def decode_stream(
-    payload: bytes, counters: StageCounters, budget_check=None
-) -> bytes:
-    """Inflate a complete DEFLATE stream.
+    payload: bytes, counters: StageCounters, budget_check=None, start: int = 0
+) -> Tuple[bytes, int]:
+    """Inflate one complete DEFLATE stream starting at byte ``start``.
+
+    Returns ``(data, end)`` where ``end`` is the byte offset just past the
+    stream's final block (rounded up to the next byte boundary) -- the
+    position of the container trailer, which is how the zlib/gzip decoders
+    walk concatenated members of a multi-frame stream.
 
     ``budget_check``, when given, is called with the output size after each
     stored block or back-reference copy; it raises to abort oversized
     (bomb-like) expansions early.
     """
-    reader = BitReader(payload)
+    reader = BitReader(payload, start=start)
     out = bytearray()
     fixed_lit: HuffmanDecoder = None  # built lazily
     fixed_dist: HuffmanDecoder = None
@@ -105,6 +110,7 @@ def decode_stream(
             else:
                 raise CorruptDataError("reserved block type 3")
             if is_final:
-                return bytes(out)
+                reader.align_to_byte()
+                return bytes(out), reader.byte_position
     except (EOFError, ValueError) as exc:
         raise CorruptDataError(f"bad DEFLATE stream: {exc}") from None

@@ -129,3 +129,14 @@ class BitReader:
     def bits_remaining(self) -> int:
         """Bits left in the stream (buffered plus unread bytes)."""
         return self._bit_count + 8 * (len(self._data) - self._byte_pos)
+
+    @property
+    def byte_position(self) -> int:
+        """Byte offset of the read cursor within the underlying data.
+
+        Exact only when the stream is byte-aligned (call
+        :meth:`align_to_byte` first); mid-byte the partially-consumed byte
+        counts as unread. Frame-aware decoders use this to find where one
+        member ends and the next concatenated member begins.
+        """
+        return self._byte_pos - self._bit_count // 8

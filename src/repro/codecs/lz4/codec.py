@@ -89,12 +89,28 @@ class LZ4Compressor(Compressor):
         dictionary: Optional[bytes],
         counters: StageCounters,
     ) -> bytes:
-        if payload[:4] != _MAGIC:
+        if not payload:
             raise CorruptDataError("bad LZ4 frame magic")
-        content_size = int.from_bytes(payload[4:12], "little")
-        self._check_output_budget(content_size)
-        pos = 12
         out = bytearray()
+        pos = 0
+        # Concatenated frames decode to concatenated contents, matching the
+        # real LZ4 frame format (and the parallel chunked engine's output).
+        while pos < len(payload):
+            pos = self._decode_frame(payload, pos, counters, out)
+        return bytes(out)
+
+    def _decode_frame(
+        self, payload: bytes, pos: int, counters: StageCounters, out: bytearray
+    ) -> int:
+        """Decode one frame at ``pos`` into ``out``; returns the end offset."""
+        if payload[pos : pos + 4] != _MAGIC:
+            raise CorruptDataError("bad LZ4 frame magic")
+        if len(payload) - pos < 12:
+            raise CorruptDataError("truncated LZ4 frame header")
+        content_size = int.from_bytes(payload[pos + 4 : pos + 12], "little")
+        frame_start = len(out)
+        self._check_output_budget(frame_start + content_size)
+        pos += 12
         while True:
             self._check_output_budget(len(out))
             if pos + 4 > len(payload):
@@ -118,11 +134,11 @@ class LZ4Compressor(Compressor):
         if pos + 4 > len(payload):
             raise CorruptDataError("missing LZ4 content checksum")
         stored = int.from_bytes(payload[pos : pos + 4], "little")
-        if stored != xxh32(bytes(out)):
+        if stored != xxh32(bytes(out[frame_start:])):
             raise CorruptDataError("LZ4 content checksum mismatch")
-        if len(out) != content_size:
+        if len(out) - frame_start != content_size:
             raise CorruptDataError("LZ4 content size mismatch")
-        return bytes(out)
+        return pos + 4
 
 
 register_codec("lz4", LZ4Compressor)

@@ -194,13 +194,33 @@ class ZstdCompressor(Compressor):
         dictionary: Optional[bytes],
         counters: StageCounters,
     ) -> bytes:
-        if payload[:4] != _MAGIC:
+        if not payload:
             raise CorruptDataError("bad zstd frame magic")
-        if len(payload) < 14:
+        out = bytearray()
+        pos = 0
+        # A stream is one or more concatenated frames; their contents
+        # concatenate (the real zstd frame contract, and what the parallel
+        # chunked engine emits -- one independent frame per chunk).
+        while pos < len(payload):
+            pos = self._decode_frame(payload, pos, dictionary, counters, out)
+        return bytes(out)
+
+    def _decode_frame(
+        self,
+        payload: bytes,
+        pos: int,
+        dictionary: Optional[bytes],
+        counters: StageCounters,
+        out: bytearray,
+    ) -> int:
+        """Decode one frame at ``pos`` into ``out``; returns the end offset."""
+        if payload[pos : pos + 4] != _MAGIC:
+            raise CorruptDataError("bad zstd frame magic")
+        if len(payload) - pos < 14:
             raise CorruptDataError("truncated zstd frame header")
-        flags = payload[4]
-        content_size = int.from_bytes(payload[6:14], "little")
-        pos = 14
+        flags = payload[pos + 4]
+        content_size = int.from_bytes(payload[pos + 6 : pos + 14], "little")
+        pos += 14
         dict_bytes = b""
         if flags & _FLAG_DICT_ID:
             if dictionary is None:
@@ -211,8 +231,8 @@ class ZstdCompressor(Compressor):
             dict_bytes = dictionary
             pos += 4
 
-        self._check_output_budget(content_size)
-        out = bytearray()
+        frame_start = len(out)
+        self._check_output_budget(frame_start + content_size)
         first = True
         while True:
             self._check_output_budget(len(out))
@@ -256,11 +276,12 @@ class ZstdCompressor(Compressor):
             if pos + 4 > len(payload):
                 raise CorruptDataError("missing content checksum")
             stored = int.from_bytes(payload[pos : pos + 4], "little")
-            if stored != xxh32(bytes(out)):
+            if stored != xxh32(bytes(out[frame_start:])):
                 raise CorruptDataError("zstd content checksum mismatch")
-        if len(out) != content_size:
+            pos += 4
+        if len(out) - frame_start != content_size:
             raise CorruptDataError("zstd content size mismatch")
-        return bytes(out)
+        return pos
 
 
 register_codec("zstd", ZstdCompressor)

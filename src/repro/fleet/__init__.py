@@ -24,8 +24,22 @@ from repro.fleet.profiles import (
 from repro.fleet.callstack import CallStackSample, is_compression_frame, parse_frame
 from repro.fleet.profiler import SamplingProfiler
 from repro.fleet.characterization import FleetCharacterization, characterize
+from repro.fleet.sweep import (
+    CellMeasurement,
+    MeasurementCell,
+    fleet_measurement_cells,
+    format_fleet_sweep,
+    measure_cell,
+    run_fleet_sweep,
+)
 
 __all__ = [
+    "CellMeasurement",
+    "MeasurementCell",
+    "fleet_measurement_cells",
+    "format_fleet_sweep",
+    "measure_cell",
+    "run_fleet_sweep",
     "ServiceProfile",
     "DEFAULT_FLEET",
     "fleet_by_category",

@@ -35,6 +35,8 @@ RPC_SECONDS = "repro_rpc_message_seconds"
 RPC_RETRIES = "repro_rpc_retries_total"
 RPC_FAILED = "repro_rpc_failed_messages_total"
 FLEET_SAMPLES = "repro_fleet_cycle_samples_total"
+PARALLEL_CHUNKS = "repro_parallel_chunks_total"
+PARALLEL_CHUNK_SECONDS = "repro_parallel_chunk_seconds"
 FAULTS_INJECTED = "repro_faults_injected_total"
 BREAKER_TRANSITIONS = "repro_resilience_breaker_transitions_total"
 QUARANTINES = "repro_resilience_quarantines_total"
@@ -229,6 +231,33 @@ def record_recovery(
     reg.histogram(
         RECOVERY_SECONDS, help="modeled seconds to recover from a fault"
     ).observe(seconds, source=source)
+
+
+def record_parallel_chunk(
+    algorithm: str,
+    direction: str,
+    seconds: float,
+    bytes_in: int,
+    executor: str,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """One chunk processed by the parallel engine (worker or in-process).
+
+    Chunk-level telemetry is recorded by the *parent* after the pool
+    returns -- worker processes write into forked registry copies that die
+    with them, so the engine ships (duration, sizes) back alongside each
+    frame and stitches them here.
+    """
+    reg = registry if registry is not None else get_registry()
+    reg.counter(PARALLEL_CHUNKS, help="chunks through the parallel engine").inc(
+        1, algorithm=algorithm, direction=direction, executor=executor
+    )
+    reg.histogram(
+        PARALLEL_CHUNK_SECONDS, help="wall seconds per parallel-engine chunk"
+    ).observe(seconds, algorithm=algorithm, direction=direction)
+    reg.histogram(
+        CODEC_BLOCK_BYTES, help="input bytes per codec call (Fig. 5 shape)"
+    ).observe(float(bytes_in), algorithm=algorithm, direction=direction)
 
 
 def record_fleet_sample(

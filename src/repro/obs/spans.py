@@ -113,6 +113,45 @@ class span:
         return False  # never swallow the exception
 
 
+def record_external_span(
+    name: str,
+    duration_seconds: float,
+    registry: Optional[MetricsRegistry] = None,
+    error: bool = False,
+    **attributes: object,
+) -> SpanRecord:
+    """Stitch a span whose wall time was measured elsewhere into the tree.
+
+    Worker processes cannot contribute to the parent's span stack, so the
+    parallel engine ships each chunk's measured duration back with the
+    result and the parent re-materializes it here: the span is attached as
+    a child of the currently open span (or as a root) and recorded into
+    the histogram under its flame path, exactly as if it had run inline.
+    """
+    parent = _STACK.open[-1] if _STACK.open else None
+    path = f"{parent.path};{name}" if parent else name
+    record = SpanRecord(
+        name=name,
+        attributes=dict(attributes),
+        path=path,
+        duration_seconds=duration_seconds,
+        error=error,
+    )
+    if parent is not None:
+        parent.children.append(record)
+    else:
+        with _ROOTS_LOCK:
+            _ROOTS.append(record)
+            del _ROOTS[:-_MAX_ROOTS]
+    reg = registry if registry is not None else get_registry()
+    reg.histogram(SPAN_METRIC, help="wall seconds per span flame path").observe(
+        record.duration_seconds,
+        path=record.path,
+        error="true" if record.error else "false",
+    )
+    return record
+
+
 def current_span() -> Optional[SpanRecord]:
     """The innermost open span on this thread, if any."""
     return _STACK.open[-1] if _STACK.open else None

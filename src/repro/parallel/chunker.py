@@ -1,0 +1,48 @@
+"""Chunk planning for the parallel engine.
+
+The engine splits an input into fixed-size chunks, each compressed as one
+independent frame. 128 KiB is the default: it matches the zstd block size
+(so chunking costs at most one block's worth of match-window reach) while
+keeping enough chunks in flight to fill a worker pool. Smaller chunks
+parallelize better but pay the per-call setup overhead the paper measures
+for small blocks (Section IV-E) once per chunk, and lose cross-chunk
+redundancy -- the ratio/latency trade-off documented in docs/parallel.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: default chunk size: one zstd max-block, the production sweet spot
+DEFAULT_CHUNK_SIZE = 128 * 1024
+
+#: refuse chunks so small that framing overhead dominates the payload
+MIN_CHUNK_SIZE = 64
+
+
+def plan_chunks(total_bytes: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> List[Tuple[int, int]]:
+    """Split ``total_bytes`` into ``(start, stop)`` spans of ``chunk_size``.
+
+    Deterministic: the same (size, chunk_size) always yields the same plan,
+    which is what makes ``--jobs 1`` and ``--jobs N`` output byte-identical.
+    An empty input maps to a single empty span so the engine still emits
+    exactly one (empty) frame, matching what a serial ``compress(b"")``
+    call produces.
+    """
+    if chunk_size < MIN_CHUNK_SIZE:
+        raise ValueError(
+            f"chunk_size must be >= {MIN_CHUNK_SIZE} bytes, got {chunk_size}"
+        )
+    if total_bytes < 0:
+        raise ValueError("total_bytes must be non-negative")
+    if total_bytes == 0:
+        return [(0, 0)]
+    return [
+        (start, min(start + chunk_size, total_bytes))
+        for start in range(0, total_bytes, chunk_size)
+    ]
+
+
+def chunk_count(total_bytes: int, chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+    """Number of chunks :func:`plan_chunks` would produce."""
+    return len(plan_chunks(total_bytes, chunk_size))

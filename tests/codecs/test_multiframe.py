@@ -1,0 +1,81 @@
+"""Multi-frame stream contract: concatenated frames decode to concatenated
+contents.
+
+Real-world zstd/LZ4 tools and RFC 1952 gzip all define this, and the
+parallel engine leans on it -- its output is nothing but independent
+frames laid end to end. These tests pin the contract for every codec
+directly at the codec layer, independent of the engine.
+"""
+
+import pytest
+
+from repro.codecs import available_codecs, get_codec, train_dictionary
+from repro.codecs.base import CorruptDataError, OutputLimitExceeded
+
+_PIECES = [b"alpha " * 100, b"", b"beta" * 50, b"\x00" * 256, b"tail"]
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+def test_concatenated_frames_decode_to_concatenated_contents(codec_name):
+    codec = get_codec(codec_name)
+    stream = b"".join(codec.compress(piece, 1).data for piece in _PIECES)
+    result = codec.decompress(stream)
+    assert result.data == b"".join(_PIECES)
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+def test_two_frames_different_levels(codec_name):
+    codec = get_codec(codec_name)
+    first = codec.compress(b"x" * 1000, codec.min_level).data
+    second = codec.compress(b"y" * 1000, codec.max_level).data
+    assert codec.decompress(first + second).data == b"x" * 1000 + b"y" * 1000
+
+
+def test_concatenated_dictionary_frames():
+    zstd = get_codec("zstd")
+    samples = [b"GET /api/v1/users/%d HTTP/1.1" % i for i in range(40)]
+    dictionary = train_dictionary(samples, max_size=1024).content
+    pieces = [b"GET /api/v1/users/7 HTTP/1.1", b"GET /api/v1/users/13 HTTP/1.1"]
+    stream = b"".join(
+        zstd.compress(piece, 3, dictionary=dictionary).data for piece in pieces
+    )
+    result = zstd.decompress(stream, dictionary=dictionary)
+    assert result.data == b"".join(pieces)
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+def test_output_limit_is_cumulative_across_frames(codec_name):
+    """The budget bounds the whole stream, not each frame separately."""
+    codec = get_codec(codec_name)
+    frame = codec.compress(b"z" * 600, 1).data
+    # One frame fits, two frames together must not.
+    assert codec.decompress(frame, max_output_bytes=600).data == b"z" * 600
+    with pytest.raises(OutputLimitExceeded):
+        codec.decompress(frame + frame, max_output_bytes=1000)
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+def test_garbage_between_frames_raises(codec_name):
+    codec = get_codec(codec_name)
+    frame = codec.compress(b"payload" * 30, 1).data
+    with pytest.raises(CorruptDataError):
+        codec.decompress(frame + b"\xde\xad\xbe\xef" + frame)
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+def test_truncated_second_frame_raises(codec_name):
+    codec = get_codec(codec_name)
+    frame = codec.compress(b"payload" * 30, 1).data
+    with pytest.raises(CorruptDataError):
+        codec.decompress(frame + frame[: len(frame) // 2])
+
+
+@pytest.mark.parametrize("codec_name", available_codecs())
+def test_frame_counters_accumulate(codec_name):
+    """Decoding two frames does at least the stage work of each alone."""
+    codec = get_codec(codec_name)
+    frame = codec.compress(b"counter" * 64, 1).data
+    single = codec.decompress(frame).counters
+    double = codec.decompress(frame + frame).counters
+    assert double.bytes_out == 2 * single.bytes_out
+    assert double.bytes_in == 2 * single.bytes_in

@@ -1,0 +1,91 @@
+"""Differential tests against the stdlib deflate oracle.
+
+CPython's ``zlib``/``gzip`` modules wrap the canonical C zlib, which makes
+them an implementation-independent oracle for the deflate family: every
+stream our encoders emit must inflate bit-exactly there, and everything
+the oracle emits must inflate here. The level sweep 0-9 walks the whole
+strategy table (stored at 0, fast/greedy below 4, lazy above), so each
+match finder's token stream gets checked against the oracle, not just
+against our own decoder. Chunked multi-member output must additionally
+satisfy the documented concatenation semantics (RFC 1950/1952) under the
+stdlib decoders -- that is the contract the parallel engine relies on.
+"""
+
+import gzip as stdlib_gzip
+import zlib as stdlib_zlib
+
+import pytest
+
+from repro.codecs import GzipCompressor, ZlibCompressor
+from repro.parallel import compress_chunked
+
+_ORACLE_KEYS = ["empty", "short", "rle", "periodic", "text", "structured", "random"]
+_LEVELS = list(range(10))
+
+
+def _oracle_inflate_members(payload: bytes) -> bytes:
+    """Inflate concatenated zlib streams with the stdlib, member by member."""
+    out = bytearray()
+    while payload:
+        dec = stdlib_zlib.decompressobj()
+        out.extend(dec.decompress(payload))
+        assert dec.eof, "oracle saw a truncated zlib member"
+        payload = dec.unused_data
+    return bytes(out)
+
+
+@pytest.mark.parametrize("level", _LEVELS)
+@pytest.mark.parametrize("key", _ORACLE_KEYS)
+class TestOursToOracle:
+    def test_zlib_stream_accepted_by_oracle(self, payloads, key, level):
+        data = payloads[key]
+        blob = ZlibCompressor().compress(data, level).data
+        assert stdlib_zlib.decompress(blob) == data, (key, level)
+
+    def test_gzip_stream_accepted_by_oracle(self, payloads, key, level):
+        data = payloads[key]
+        blob = GzipCompressor().compress(data, level).data
+        assert stdlib_gzip.decompress(blob) == data, (key, level)
+
+
+@pytest.mark.parametrize("level", [0, 1, 6, 9])
+@pytest.mark.parametrize("key", _ORACLE_KEYS)
+class TestOracleToOurs:
+    def test_our_inflate_accepts_oracle_zlib(self, payloads, key, level):
+        data = payloads[key]
+        blob = stdlib_zlib.compress(data, level)
+        assert ZlibCompressor().decompress(blob).data == data, (key, level)
+
+    def test_our_inflate_accepts_oracle_gzip(self, payloads, key, level):
+        data = payloads[key]
+        blob = stdlib_gzip.compress(data, compresslevel=level, mtime=0)
+        assert GzipCompressor().decompress(blob).data == data, (key, level)
+
+
+@pytest.mark.parametrize("codec_cls", [ZlibCompressor, GzipCompressor])
+def test_chunked_members_accepted_by_oracle(payloads, codec_cls):
+    """Parallel-engine output is plain multi-member deflate to the oracle."""
+    data = payloads["text"] + payloads["structured"] + payloads["random"]
+    codec = codec_cls()
+    chunked = compress_chunked(codec, data, 6, chunk_size=1024, jobs=1)
+    assert chunked.chunk_count > 1
+    if codec.name == "gzip":
+        # stdlib gzip natively concatenates members (RFC 1952 section 2.2).
+        assert stdlib_gzip.decompress(chunked.data) == data
+    else:
+        assert _oracle_inflate_members(chunked.data) == data
+    # And our own decoder agrees with the oracle.
+    assert codec.decompress(chunked.data).data == data
+
+
+def test_oracle_and_ours_agree_on_empty_members(payloads):
+    """Zero-byte input still emits one well-formed member."""
+    for codec_cls in (ZlibCompressor, GzipCompressor):
+        codec = codec_cls()
+        chunked = compress_chunked(codec, b"", 6, chunk_size=1024, jobs=1)
+        assert chunked.chunk_count == 1
+        if codec.name == "gzip":
+            assert stdlib_gzip.decompress(chunked.data) == b""
+        else:
+            assert _oracle_inflate_members(chunked.data) == b""
+        assert codec.decompress(chunked.data).data == b""

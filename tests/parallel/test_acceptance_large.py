@@ -1,0 +1,58 @@
+"""ISSUE acceptance run: 4 MiB corpus, --jobs 4, byte-identical to serial.
+
+The pure-Python codecs run at roughly a megabyte per second at low levels,
+so this takes minutes rather than seconds; it is gated behind
+``REPRO_ACCEPTANCE=1`` and excluded from the tier-1 suite. The same
+property is exercised continuously on small corpora by
+test_engine_equivalence.py.
+
+Run with::
+
+    REPRO_ACCEPTANCE=1 PYTHONPATH=src pytest tests/parallel/test_acceptance_large.py -v
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.parallel import compress_chunked
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_ACCEPTANCE") != "1",
+    reason="large acceptance run; set REPRO_ACCEPTANCE=1 to enable",
+)
+
+_SIZE = 4 << 20
+
+
+def _large_corpus() -> bytes:
+    rng = random.Random(777)
+    out = bytearray()
+    while len(out) < _SIZE:
+        out.extend(
+            b"ts=%010d svc=%s op=%s bytes=%d\n"
+            % (
+                rng.randint(0, 2**31),
+                rng.choice([b"cache1", b"feed2", b"ads_ranking", b"warehouse"]),
+                rng.choice([b"get", b"set", b"scan"]),
+                rng.randint(0, 1 << 20),
+            )
+        )
+        if rng.random() < 0.05:
+            out.extend(rng.randbytes(512))
+    return bytes(out[:_SIZE])
+
+
+@pytest.mark.parametrize("codec_name", ["zstd", "lz4", "gzip"])
+def test_four_mib_jobs4_matches_serial(codec_name):
+    from repro.codecs import get_codec
+
+    codec = get_codec(codec_name)
+    data = _large_corpus()
+    serial = compress_chunked(codec, data, 1, jobs=1)  # default 128 KiB chunks
+    pooled = compress_chunked(codec, data, 1, jobs=4)
+    assert serial.data == pooled.data
+    assert serial.counters == pooled.counters
+    assert pooled.chunk_count == 32
+    assert codec.decompress(pooled.data).data == data

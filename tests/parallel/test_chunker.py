@@ -1,0 +1,51 @@
+"""Chunk planning: exact cover, determinism, edge sizes."""
+
+import pytest
+
+from repro.parallel import DEFAULT_CHUNK_SIZE, MIN_CHUNK_SIZE, chunk_count, plan_chunks
+
+
+def test_default_chunk_size_is_128k():
+    assert DEFAULT_CHUNK_SIZE == 128 * 1024
+
+
+def test_empty_input_plans_one_empty_chunk():
+    assert plan_chunks(0, 1024) == [(0, 0)]
+    assert chunk_count(0, 1024) == 1
+
+
+@pytest.mark.parametrize(
+    "total,chunk,expected",
+    [
+        (1, 1024, [(0, 1)]),
+        (1024, 1024, [(0, 1024)]),
+        (1025, 1024, [(0, 1024), (1024, 1025)]),
+        (2048, 1024, [(0, 1024), (1024, 2048)]),
+        (100, 1024, [(0, 100)]),
+    ],
+)
+def test_plan_shapes(total, chunk, expected):
+    assert plan_chunks(total, chunk) == expected
+    assert chunk_count(total, chunk) == len(expected)
+
+
+@pytest.mark.parametrize("total", [0, 1, 63, 64, 65, 1000, 4096, 4097, 1 << 17])
+@pytest.mark.parametrize("chunk", [64, 100, 4096, DEFAULT_CHUNK_SIZE])
+def test_plan_covers_input_exactly(total, chunk):
+    spans = plan_chunks(total, chunk)
+    assert spans[0][0] == 0
+    assert spans[-1][1] == max(total, 0)
+    for (_, stop), (start, _) in zip(spans, spans[1:]):
+        assert stop == start  # contiguous, no gaps or overlaps
+    assert all(stop - start <= chunk for start, stop in spans)
+
+
+def test_chunk_size_floor_enforced():
+    with pytest.raises(ValueError):
+        plan_chunks(1000, MIN_CHUNK_SIZE - 1)
+    with pytest.raises(ValueError):
+        plan_chunks(1000, 0)
+
+
+def test_plan_depends_only_on_size_and_chunk():
+    assert plan_chunks(10_000, 4096) == plan_chunks(10_000, 4096)
