@@ -1,12 +1,13 @@
 """``repro chaos``: the service stack under a named fault plan.
 
-Runs five end-to-end scenarios -- RPC, cache, kvstore, far memory, and
-managed compression -- with a :class:`~repro.faults.FaultInjector`
-perturbing each one, and reports a survival scorecard: per scenario, how
-many operations succeeded untouched (``ok``), how many were disturbed by a
-fault but saved by the resilience layer (``recovered``), and how many were
-abandoned (``failed``). No operation may escape as an unhandled exception;
-that is the contract the scorecard certifies.
+Runs six end-to-end scenarios -- RPC, cache, kvstore, far memory, managed
+compression, and the serving gateway -- with a
+:class:`~repro.faults.FaultInjector` perturbing each one, and reports a
+survival scorecard: per scenario, how many operations succeeded untouched
+(``ok``), how many were disturbed by a fault but saved by the resilience
+layer (``recovered``), and how many were abandoned (``failed``). No
+operation may escape as an unhandled exception; that is the contract the
+scorecard certifies.
 
 Everything is deterministic: payloads are fixed functions of the loop
 index, fault decisions come from the injector's string-seeded RNGs, and
@@ -28,6 +29,9 @@ modeled time the recovery itself cost:
 - ``farmem``   -- modeled decompress-fault seconds spent on the page,
                   plus the re-fetch of its source data;
 - ``managed``  -- the modeled re-fetch of the blob's source data.
+- ``serving``  -- the modeled service seconds of a request the gateway
+                  saved by degrading it down the ladder or by falling
+                  back to raw passthrough when its codec faulted.
 
 The modeled re-fetch uses the default RPC link shape (10 Gb/s, 50 us
 propagation): recovery means going back to the source of truth, and that
@@ -56,6 +60,9 @@ from repro.services.farmemory import PAGE_SIZE, FarMemoryPool, PageLostError
 from repro.services.kvstore.db import KVStore
 from repro.services.managed import DictionaryRetiredError, ManagedCompression
 from repro.services.rpc import Channel, RpcExhaustedError
+from repro.serving.degrade import build_ladder
+from repro.serving.gateway import CompressionGateway
+from repro.serving.queue import ServingRequest
 
 #: modeled cost of one re-fetch from the source of truth (default link)
 _REFETCH_BANDWIDTH = 1.25e9  # bytes/second (10 Gb/s)
@@ -414,6 +421,83 @@ def _run_managed(
     )
 
 
+def _run_serving(
+    injector: FaultInjector, seed: int, count: int, recovery: Histogram
+) -> ScenarioResult:
+    """Overloaded gateway with faulty codecs; the ladder and the raw
+    passthrough are the recovery.
+
+    Requests arrive in bursts so queue pressure crosses the degradation
+    thresholds; deadlines are infinite and lanes are sized so nothing is
+    shed -- every request ends as ``ok`` (rung 0, clean codec),
+    ``recovered`` (degraded to a cheaper rung, or saved by the raw
+    fallback after an injected codec fault), or ``failed`` (lost).
+    """
+    clock = SimClock()
+    tenants = ("interactive", "batch", "analytics")
+    payloads = [
+        f"serving request {i:05d} tenant {tenants[i % 3]} "
+        f"compressible envelope body ".encode() * 24
+        for i in range(count)
+    ]
+    ladder = build_ladder(
+        payloads[: min(4, count)], algorithms=("zstd", "lz4"), levels=(1, 3)
+    )
+    gateway = CompressionGateway(
+        ladder,
+        capacity=16,
+        clock=clock,
+        codec_factory=lambda name: FaultyCodec(
+            get_codec(name), injector, clock=clock
+        ),
+        tenant_weights={"interactive": 3.0, "batch": 1.0, "analytics": 1.0},
+        breaker_cooldown_seconds=1e-4,
+    )
+    ok = recovered = failed = 0
+    burst = 10
+    submitted = 0
+    while submitted < count:
+        chunk = min(burst, count - submitted)
+        for i in range(submitted, submitted + chunk):
+            gateway.submit(
+                ServingRequest(
+                    request_id=i,
+                    tenant=tenants[i % 3],
+                    payload=payloads[i],
+                    arrival=clock.now(),
+                )
+            )
+        submitted += chunk
+        while gateway.queue.depth():
+            batch = gateway.serve_batch(clock.now(), 3)
+            if not batch:
+                break
+            for served in batch:
+                clock.advance(served.service_seconds)
+                if served.degraded or served.raw_fallback:
+                    recovered += 1
+                    _observe_recovery(
+                        recovery, "serving", served.service_seconds
+                    )
+                else:
+                    ok += 1
+    failed = count - ok - recovered
+    stats = gateway.stats
+    return ScenarioResult(
+        "serving",
+        count,
+        ok,
+        recovered,
+        failed,
+        notes={
+            "degraded": stats.degraded,
+            "raw_fallbacks": stats.raw_fallbacks,
+            "shed": stats.shed,
+            "expired": stats.expired,
+        },
+    )
+
+
 # -- the runner ---------------------------------------------------------------
 
 _SCENARIOS = (
@@ -422,6 +506,7 @@ _SCENARIOS = (
     (_run_kvstore, 120),
     (_run_farmemory, 40),
     (_run_managed, 60),
+    (_run_serving, 50),
 )
 
 

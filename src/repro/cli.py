@@ -13,6 +13,8 @@ Commands:
   the metrics snapshot (table, Prometheus text, or JSON lines).
 - ``chaos`` -- run the service stack under a named fault plan and print
   the deterministic survival scorecard.
+- ``serve-sim`` -- run the admission-controlled serving gateway through
+  the discrete-event simulator and print the latency/goodput scorecard.
 """
 
 from __future__ import annotations
@@ -253,6 +255,40 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.serving import format_scorecard, run_simulation
+
+    report = run_simulation(
+        scenario=args.scenario,
+        seed=args.seed,
+        scale=args.scale,
+        degradation=False if args.no_degradation else None,
+        jobs=args.jobs,
+    )
+    print(format_scorecard(report))
+    if report.shed_rate() > args.max_shed_rate:
+        print(
+            f"\nFAIL: shed rate {report.shed_rate() * 100:.1f}% exceeds "
+            f"--max-shed-rate {args.max_shed_rate * 100:.1f}%"
+        )
+        return 1
+    if args.max_p99_ms is not None and report.latency.count(source="all"):
+        p99_ms = report.latency.p99(source="all") * 1e3
+        if p99_ms > args.max_p99_ms:
+            print(
+                f"\nFAIL: latency p99 {p99_ms:.1f} ms exceeds "
+                f"--max-p99-ms {args.max_p99_ms:.1f}"
+            )
+            return 1
+    if report.served < args.min_served:
+        print(
+            f"\nFAIL: only {report.served} requests served "
+            f"(--min-served {args.min_served})"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -375,6 +411,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if more than this many operations failed",
     )
     chaos.set_defaults(func=_cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve-sim", help="simulate the serving gateway under a load scenario"
+    )
+    from repro.serving.simulate import SCENARIOS
+
+    serve.add_argument(
+        "--scenario", default="overload", choices=sorted(SCENARIOS)
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor on the scenario duration (0.5 = quick smoke)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the gateway executor (0 = all cores)",
+    )
+    serve.add_argument(
+        "--no-degradation", action="store_true",
+        help="disable the degradation ladder (serve rung 0 or shed)",
+    )
+    serve.add_argument(
+        "--max-shed-rate", type=float, default=1.0,
+        help="exit 1 if the shed fraction exceeds this (0..1)",
+    )
+    serve.add_argument(
+        "--max-p99-ms", type=float, default=None,
+        help="exit 1 if latency p99 exceeds this many milliseconds",
+    )
+    serve.add_argument(
+        "--min-served", type=int, default=0,
+        help="exit 1 unless at least this many requests were served",
+    )
+    serve.set_defaults(func=_cmd_serve_sim)
     return parser
 
 

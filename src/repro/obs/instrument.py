@@ -41,6 +41,12 @@ FAULTS_INJECTED = "repro_faults_injected_total"
 BREAKER_TRANSITIONS = "repro_resilience_breaker_transitions_total"
 QUARANTINES = "repro_resilience_quarantines_total"
 RECOVERY_SECONDS = "repro_resilience_recovery_seconds"
+SERVING_REQUESTS = "repro_serving_requests_total"
+SERVING_QUEUE_DEPTH = "repro_serving_queue_depth"
+SERVING_WAIT_SECONDS = "repro_serving_wait_seconds"
+SERVING_SERVICE_SECONDS = "repro_serving_service_seconds"
+SERVING_DEGRADED = "repro_serving_degraded_total"
+SERVING_SHED = "repro_serving_shed_total"
 
 
 def _level_label(level: Optional[int]) -> str:
@@ -282,3 +288,55 @@ def record_fleet_sample(
         level=_level_label(level),
         stage=stage or "none",
     )
+
+
+def record_serving_verdict(
+    tenant: str, verdict: str, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One gateway front-door ruling (admit/throttle/shed/expired)."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(
+        SERVING_REQUESTS, help="serving requests by admission verdict"
+    ).inc(1, tenant=tenant, verdict=verdict)
+    if verdict in ("shed", "throttle"):
+        reg.counter(SERVING_SHED, help="requests refused by the gateway").inc(
+            1, tenant=tenant, reason=verdict
+        )
+
+
+def record_serving_queue_depth(
+    depth: int, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """Point-in-time gateway queue depth."""
+    reg = registry if registry is not None else get_registry()
+    reg.gauge(SERVING_QUEUE_DEPTH, help="queued serving requests").set(depth)
+
+
+def record_serving_served(
+    tenant: str,
+    rung: str,
+    wait_seconds: float,
+    service_seconds: float,
+    degraded: bool,
+    raw_fallback: bool,
+    registry: Optional[MetricsRegistry] = None,
+) -> None:
+    """One request served: queue wait, modeled service, degradation."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(
+        SERVING_REQUESTS, help="serving requests by admission verdict"
+    ).inc(1, tenant=tenant, verdict="served")
+    reg.histogram(
+        SERVING_WAIT_SECONDS, help="queue wait before dispatch"
+    ).observe(wait_seconds, tenant=tenant)
+    reg.histogram(
+        SERVING_SERVICE_SECONDS, help="modeled service seconds by rung"
+    ).observe(service_seconds, rung=rung)
+    if degraded:
+        reg.counter(
+            SERVING_DEGRADED, help="requests served at a degraded rung"
+        ).inc(1, rung=rung)
+    if raw_fallback:
+        reg.counter(
+            SERVING_REQUESTS, help="serving requests by admission verdict"
+        ).inc(1, tenant=tenant, verdict="raw_fallback")

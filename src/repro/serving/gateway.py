@@ -1,0 +1,323 @@
+"""The CompressionGateway: the serving plane's data path.
+
+One object ties the traffic plane together: requests come in through the
+:class:`~repro.serving.admission.AdmissionController` (explicit
+admit/throttle/shed verdicts), wait in the weighted-fair
+:class:`~repro.serving.queue.FairQueue`, are stepped down the
+:class:`~repro.serving.degrade.DegradationLadder` under queue pressure,
+and are finally compressed — on a :mod:`repro.parallel` executor, behind
+a per-algorithm :class:`~repro.resilience.breaker.CircuitBreaker` that
+trades a failing codec for the raw-passthrough path instead of erroring.
+
+Time is always the simulated clock: service durations are *modeled* from
+the codec's stage counters through the calibrated machine model, exactly
+as the chaos runner models recovery latency, so a gateway driven by the
+discrete-event simulator renders byte-identical results per seed.
+
+Telemetry follows the PR-1 contract — every hook is gated on
+``OBS_STATE.enabled`` so an un-instrumented gateway pays one branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.codecs import Compressor, get_codec
+from repro.codecs.base import CodecError, StageCounters
+from repro.obs.state import OBS_STATE
+from repro.obs.instrument import (
+    record_serving_queue_depth,
+    record_serving_served,
+    record_serving_verdict,
+)
+from repro.parallel.executors import SerialExecutor
+from repro.perfmodel import DEFAULT_MACHINE, MachineModel
+from repro.resilience.breaker import CircuitBreaker
+from repro.resilience.clock import SimClock
+from repro.serving.admission import (
+    ADMIT,
+    SHED,
+    AdmissionController,
+    AdmissionVerdict,
+)
+from repro.serving.degrade import DegradationLadder
+from repro.serving.queue import FairQueue, ServingRequest
+
+#: modeled memcpy bandwidth of the raw-passthrough path (bytes/second)
+RAW_COPY_BANDWIDTH = 8e9
+#: modeled fixed cost per served request (dispatch, framing, bookkeeping)
+DEFAULT_OVERHEAD_SECONDS = 20e-6
+
+
+@dataclass
+class GatewayStats:
+    """Everything the gateway did, cumulatively."""
+
+    submitted: int = 0
+    admitted: int = 0
+    throttled: int = 0
+    shed: int = 0
+    expired: int = 0
+    served: int = 0
+    degraded: int = 0
+    degraded_by_rung: Dict[str, int] = field(default_factory=dict)
+    raw_fallbacks: int = 0
+    bytes_in_served: int = 0
+    bytes_out: int = 0
+    #: bytes through degraded (rung > 0) dispatches, for the counterfactual
+    #: "what would rung 0 have produced" accounting in the scorecard
+    bytes_in_degraded: int = 0
+    bytes_out_degraded: int = 0
+    #: simulated time of the first degraded dispatch / first shed verdict
+    first_degraded_at: Optional[float] = None
+    first_shed_at: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One request's trip through the data path."""
+
+    request: ServingRequest
+    rung_index: int
+    rung_label: str
+    #: seconds spent queued before dispatch
+    wait_seconds: float
+    #: modeled seconds of service (compression or raw copy + overhead)
+    service_seconds: float
+    bytes_out: int
+    #: True when the breaker or a codec failure forced raw passthrough
+    raw_fallback: bool
+
+    @property
+    def degraded(self) -> bool:
+        return self.rung_index > 0
+
+
+def _compress_task(task: Tuple[str, int, bytes]) -> Tuple[int, StageCounters, str]:
+    """Pool-safe compression worker: (bytes_out, counters, error).
+
+    Module-level and dependent only on its arguments, per the
+    :mod:`repro.parallel.executors` contract; errors travel back as
+    strings because exceptions must not kill the pool.
+    """
+    algorithm, level, payload = task
+    try:
+        result = get_codec(algorithm).compress(payload, level)
+    except (CodecError, ValueError) as error:
+        return 0, StageCounters(), f"{type(error).__name__}: {error}"
+    return len(result.data), result.counters, ""
+
+
+class CompressionGateway:
+    """Admission-controlled, degradation-aware compression service."""
+
+    def __init__(
+        self,
+        ladder: DegradationLadder,
+        capacity: int = 64,
+        admission: Optional[AdmissionController] = None,
+        tenant_weights: Optional[Dict[str, float]] = None,
+        clock: Optional[SimClock] = None,
+        executor=None,
+        machine: MachineModel = DEFAULT_MACHINE,
+        codec_factory: Optional[Callable[[str], Compressor]] = None,
+        degradation_enabled: bool = True,
+        overhead_seconds: float = DEFAULT_OVERHEAD_SECONDS,
+        service_scale: float = 1.0,
+        breaker_failure_threshold: int = 3,
+        breaker_cooldown_seconds: float = 0.05,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.ladder = ladder
+        self.capacity = capacity
+        self.clock = clock if clock is not None else SimClock()
+        self.machine = machine
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
+        self.queue = FairQueue(capacity=capacity, weights=tenant_weights)
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.degradation_enabled = degradation_enabled
+        self.overhead_seconds = overhead_seconds
+        if service_scale <= 0:
+            raise ValueError("service_scale must be positive")
+        #: modeled host-contention factor: the serving host's effective
+        #: throughput is 1/scale of the calibrated bare-metal machine
+        #: model (co-located tenants, frequency caps, cold caches)
+        self.service_scale = service_scale
+        self.stats = GatewayStats()
+        #: custom codec factories (fault injection) force in-process calls
+        self._custom_codecs = codec_factory is not None
+        factory = codec_factory if codec_factory is not None else get_codec
+        self._codecs: Dict[str, Compressor] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        for rung in ladder.rungs:
+            algorithm = rung.config.algorithm
+            if algorithm not in self._codecs:
+                self._codecs[algorithm] = factory(algorithm)
+                self._breakers[algorithm] = CircuitBreaker(
+                    f"serving-{algorithm}",
+                    failure_threshold=breaker_failure_threshold,
+                    cooldown_seconds=breaker_cooldown_seconds,
+                    clock=self.clock,
+                )
+
+    # -- pressure -----------------------------------------------------------
+
+    @property
+    def pressure(self) -> float:
+        """Queue occupancy in [0, 1]: the degradation/shed driver."""
+        return self.queue.depth() / self.capacity
+
+    def breaker(self, algorithm: str) -> CircuitBreaker:
+        return self._breakers[algorithm]
+
+    # -- ingress ------------------------------------------------------------
+
+    def submit(self, request: ServingRequest) -> AdmissionVerdict:
+        """Offer one request; admitted requests are queued."""
+        self.stats.submitted += 1
+        verdict = self.admission.admit(self.queue.depth(), self.capacity)
+        if verdict.decision == ADMIT:
+            if self.queue.offer(request):
+                self.stats.admitted += 1
+            else:
+                verdict = AdmissionVerdict(
+                    SHED, f"tenant {request.tenant} lane full"
+                )
+        if verdict.decision == SHED:
+            self.stats.shed += 1
+            if self.stats.first_shed_at is None:
+                self.stats.first_shed_at = self.clock.now()
+        elif verdict.decision != ADMIT:
+            self.stats.throttled += 1
+        if OBS_STATE.enabled:
+            record_serving_verdict(request.tenant, verdict.decision)
+            record_serving_queue_depth(self.queue.depth())
+        return verdict
+
+    # -- egress -------------------------------------------------------------
+
+    def serve_batch(self, now: float, max_count: int) -> List[ServedRequest]:
+        """Dequeue up to ``max_count`` requests and compress them.
+
+        The rung is chosen per request from the pressure *at dequeue time*
+        (the queue drains as the batch forms, so a deep queue degrades its
+        head harder than its tail). Compression itself runs through the
+        executor; breaker accounting happens in the parent, mirroring how
+        the parallel engine stitches worker telemetry.
+        """
+        plans: List[Tuple[ServingRequest, int, str, float, bool]] = []
+        while len(plans) < max_count:
+            request, expired = self.queue.poll(now)
+            for dropped in expired:
+                self.stats.expired += 1
+                if OBS_STATE.enabled:
+                    record_serving_verdict(dropped.tenant, "expired")
+            if request is None:
+                break
+            rung_index = (
+                self.ladder.select(self.pressure)
+                if self.degradation_enabled
+                else 0
+            )
+            rung = self.ladder.rung(rung_index)
+            allowed = self._breakers[rung.config.algorithm].allow()
+            plans.append(
+                (request, rung_index, rung.label(), now - request.arrival, allowed)
+            )
+        if OBS_STATE.enabled:
+            record_serving_queue_depth(self.queue.depth())
+        return self._execute(plans)
+
+    def _execute(
+        self, plans: Sequence[Tuple[ServingRequest, int, str, float, bool]]
+    ) -> List[ServedRequest]:
+        tasks = []
+        task_slots = []
+        for slot, (request, rung_index, __, __, allowed) in enumerate(plans):
+            if not allowed:
+                continue
+            config = self.ladder.rung(rung_index).config
+            tasks.append((config.algorithm, config.level, request.payload))
+            task_slots.append(slot)
+        if self._custom_codecs:
+            # injected codecs are stateful and unpicklable: run in-process
+            results = [self._compress_custom(task) for task in tasks]
+        else:
+            results = self.executor.map(_compress_task, tasks)
+        by_slot = dict(zip(task_slots, results))
+        served: List[ServedRequest] = []
+        for slot, (request, rung_index, rung_label, wait, allowed) in enumerate(
+            plans
+        ):
+            rung = self.ladder.rung(rung_index)
+            algorithm = rung.config.algorithm
+            breaker = self._breakers[algorithm]
+            raw = False
+            if not allowed:
+                raw = True
+            else:
+                bytes_out, counters, error = by_slot[slot]
+                if error:
+                    breaker.record_failure()
+                    raw = True
+                else:
+                    breaker.record_success()
+                    service = (
+                        self.machine.compress_seconds(algorithm, counters)
+                        * self.service_scale
+                        + self.overhead_seconds
+                    )
+            if raw:
+                bytes_out = request.size
+                service = (
+                    request.size / RAW_COPY_BANDWIDTH * self.service_scale
+                    + self.overhead_seconds
+                )
+                self.stats.raw_fallbacks += 1
+            served.append(
+                ServedRequest(
+                    request=request,
+                    rung_index=rung_index,
+                    rung_label=rung_label,
+                    wait_seconds=wait,
+                    service_seconds=service,
+                    bytes_out=bytes_out,
+                    raw_fallback=raw,
+                )
+            )
+            self.stats.served += 1
+            self.stats.bytes_in_served += request.size
+            self.stats.bytes_out += bytes_out
+            if rung_index > 0:
+                self.stats.degraded += 1
+                self.stats.degraded_by_rung[rung_label] = (
+                    self.stats.degraded_by_rung.get(rung_label, 0) + 1
+                )
+                self.stats.bytes_in_degraded += request.size
+                self.stats.bytes_out_degraded += bytes_out
+                if self.stats.first_degraded_at is None:
+                    self.stats.first_degraded_at = self.clock.now()
+            if OBS_STATE.enabled:
+                record_serving_served(
+                    request.tenant,
+                    rung_label,
+                    wait,
+                    service,
+                    degraded=rung_index > 0,
+                    raw_fallback=raw,
+                )
+        return served
+
+    def _compress_custom(
+        self, task: Tuple[str, int, bytes]
+    ) -> Tuple[int, StageCounters, str]:
+        algorithm, level, payload = task
+        try:
+            result = self._codecs[algorithm].compress(payload, level)
+        except (CodecError, ValueError) as error:
+            return 0, StageCounters(), f"{type(error).__name__}: {error}"
+        return len(result.data), result.counters, ""

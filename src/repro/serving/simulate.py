@@ -1,0 +1,395 @@
+"""Deterministic discrete-event simulation of the serving plane.
+
+The simulator runs the :class:`~repro.serving.gateway.CompressionGateway`
+against a :class:`~repro.serving.workload.WorkloadGenerator` with zero
+wall-clock dependence: arrivals come from the seeded workload, service
+durations are modeled (machine model x host-contention scale), and time
+is an event heap driving a :class:`~repro.resilience.clock.SimClock`.
+The same ``(scenario, seed, scale)`` therefore renders a byte-identical
+scorecard — the property CI certifies by diffing two runs, exactly as it
+does for ``repro chaos``.
+
+Scenario vocabulary:
+
+- ``baseline``  — comfortable headroom; the ladder should stay on rung 0.
+- ``overload``  — sustained arrivals beyond capacity; the ladder engages
+  and, if pressure still wins, admission sheds.
+- ``burst``     — diurnal arrivals whose peak overloads a fleet sized for
+  the average (the paper's "services see daily load swings" reality).
+
+The scorecard reports p50/p90/p99 latency and queue wait, goodput
+(on-time bytes per simulated second), shed/throttle/expired counts, and
+the compression ratio lost to degradation — the bicriteria trade made
+explicit.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram
+from repro.parallel.executors import make_executor
+from repro.resilience.clock import SimClock
+from repro.serving.admission import (
+    AdaptiveConcurrencyLimit,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.serving.degrade import DegradationLadder, build_ladder
+from repro.serving.gateway import CompressionGateway, ServedRequest
+from repro.serving.workload import TenantSpec, WorkloadGenerator, tenants_from_fleet
+
+#: ladder candidate grid: the levels production fleets actually run
+#: (Fig. 4: levels 1-4 carry most cycles) plus one high-ratio anchor
+_LADDER_ALGORITHMS = ("zstd", "lz4")
+_LADDER_LEVELS = (1, 2, 3, 6)
+#: payload samples used to measure the ladder grid
+_LADDER_SAMPLES = 12
+
+
+@dataclass(frozen=True)
+class ServingScenario:
+    """One named load shape for the simulator."""
+
+    name: str
+    description: str
+    rate_rps: float
+    duration_seconds: float
+    workers: int
+    #: gateway queue capacity (requests)
+    capacity: int
+    #: admission token bucket (requests/second, burst)
+    token_rate: float
+    token_burst: float
+    process: str = "poisson"
+    diurnal_amplitude: float = 0.6
+    #: modeled host-contention factor (see CompressionGateway.service_scale)
+    service_scale: float = 400.0
+    #: adaptive-concurrency latency target, seconds
+    target_latency: float = 0.08
+    categories: Tuple[str, ...] = ("Cache", "Key-Value Store", "Web", "Ads")
+
+
+SCENARIOS: Dict[str, ServingScenario] = {
+    "baseline": ServingScenario(
+        name="baseline",
+        description="comfortable headroom; rung 0 throughout",
+        rate_rps=60.0,
+        duration_seconds=4.0,
+        workers=4,
+        capacity=64,
+        token_rate=200.0,
+        token_burst=64,
+    ),
+    "overload": ServingScenario(
+        name="overload",
+        description="sustained 2-3x capacity; ladder engages, then sheds",
+        rate_rps=260.0,
+        duration_seconds=4.0,
+        workers=2,
+        capacity=32,
+        token_rate=600.0,
+        token_burst=128,
+    ),
+    "burst": ServingScenario(
+        name="burst",
+        description="diurnal swing whose peak overloads the average-sized fleet",
+        rate_rps=100.0,
+        duration_seconds=4.0,
+        workers=2,
+        capacity=48,
+        token_rate=400.0,
+        token_burst=96,
+        process="diurnal",
+        diurnal_amplitude=0.8,
+    ),
+}
+
+
+@dataclass
+class ServingReport:
+    """Everything one simulation run learned."""
+
+    scenario: str
+    seed: int
+    degradation_enabled: bool
+    ladder_labels: List[str]
+    thresholds: List[float]
+    #: measured ratio of the unpressured rung-0 configuration (the
+    #: reference the "ratio lost to degradation" line compares against)
+    rung0_ratio: float = 0.0
+    # -- traffic accounting --
+    arrivals: int = 0
+    admitted: int = 0
+    throttled: int = 0
+    shed: int = 0
+    expired: int = 0
+    served: int = 0
+    on_time: int = 0
+    tardy: int = 0
+    degraded: int = 0
+    degraded_by_rung: Dict[str, int] = field(default_factory=dict)
+    raw_fallbacks: int = 0
+    # -- volume --
+    bytes_in_served: int = 0
+    bytes_out: int = 0
+    bytes_in_degraded: int = 0
+    bytes_out_degraded: int = 0
+    #: input bytes of requests completed within their deadline
+    bytes_on_time: int = 0
+    # -- time --
+    makespan_seconds: float = 0.0
+    first_degraded_at: Optional[float] = None
+    first_shed_at: Optional[float] = None
+    # -- distributions (label ``source``: "all" plus per tenant) --
+    latency: Histogram = field(
+        default_factory=lambda: Histogram(
+            "serving_latency_seconds", "end-to-end request latency"
+        )
+    )
+    wait: Histogram = field(
+        default_factory=lambda: Histogram(
+            "serving_wait_seconds", "queue wait before dispatch"
+        )
+    )
+
+    @property
+    def goodput_bytes_per_second(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.bytes_on_time / self.makespan_seconds
+
+    @property
+    def achieved_ratio(self) -> float:
+        if not self.bytes_out:
+            return 1.0 if not self.bytes_in_served else float("inf")
+        return self.bytes_in_served / self.bytes_out
+
+    def shed_rate(self) -> float:
+        return self.shed / self.arrivals if self.arrivals else 0.0
+
+    def ratio_lost_to_degradation(self) -> float:
+        """Fraction of ratio given up by the ladder, in [0, 1].
+
+        Compares the achieved ratio against a counterfactual run where
+        every degraded request had been served at rung 0 (its output
+        estimated from the sample-measured rung-0 ratio). Payload-mix
+        noise cancels because the non-degraded bytes appear on both
+        sides.
+        """
+        if not self.bytes_in_degraded or self.rung0_ratio <= 0:
+            return 0.0
+        counterfactual_out = (
+            self.bytes_out
+            - self.bytes_out_degraded
+            + self.bytes_in_degraded / self.rung0_ratio
+        )
+        if counterfactual_out <= 0 or self.bytes_out <= 0:
+            return 0.0
+        ratio_no_degradation = self.bytes_in_served / counterfactual_out
+        if ratio_no_degradation <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.achieved_ratio / ratio_no_degradation)
+
+
+def _resolve_scenario(scenario) -> ServingScenario:
+    if isinstance(scenario, ServingScenario):
+        return scenario
+    try:
+        return SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown serving scenario {scenario!r}; "
+            f"available: {sorted(SCENARIOS)}"
+        )
+
+
+def build_scenario_ladder(requests: Sequence) -> DegradationLadder:
+    """Ladder measured on the run's own leading payloads."""
+    samples = [r.payload for r in requests[:_LADDER_SAMPLES] if r.payload]
+    if not samples:
+        samples = [b"serving ladder reference sample " * 32]
+    return build_ladder(
+        samples, algorithms=_LADDER_ALGORITHMS, levels=_LADDER_LEVELS
+    )
+
+
+def run_simulation(
+    scenario="overload",
+    seed: int = 7,
+    scale: float = 1.0,
+    degradation: Optional[bool] = None,
+    jobs: int = 1,
+    tenants: Optional[Sequence[TenantSpec]] = None,
+) -> ServingReport:
+    """Run one scenario end to end; returns the full report.
+
+    ``scale`` multiplies the scenario duration (0.25 = quick smoke, same
+    convention as ``repro chaos --ops``); ``degradation`` overrides the
+    ladder on/off (None = on); ``jobs`` sizes the gateway's executor —
+    output is byte-identical across job counts because compression output
+    and modeled time are functions of the payload alone.
+    """
+    sc = _resolve_scenario(scenario)
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    degradation_enabled = True if degradation is None else degradation
+    workload = WorkloadGenerator(
+        tenants=tenants
+        if tenants is not None
+        else tenants_from_fleet(sc.categories),
+        rate_rps=sc.rate_rps,
+        duration_seconds=sc.duration_seconds * scale,
+        seed=seed,
+        process=sc.process,
+        diurnal_amplitude=sc.diurnal_amplitude,
+    )
+    requests = workload.generate()
+    ladder = build_scenario_ladder(requests)
+    clock = SimClock()
+    controller = AdmissionController(
+        bucket=TokenBucket(sc.token_rate, sc.token_burst, clock),
+        limiter=AdaptiveConcurrencyLimit(
+            target_latency=sc.target_latency,
+            initial=float(sc.workers),
+            maximum=float(sc.workers * 4),
+        ),
+    )
+    executor = make_executor(jobs)
+    gateway = CompressionGateway(
+        ladder,
+        capacity=sc.capacity,
+        admission=controller,
+        tenant_weights=workload.tenant_weights(),
+        clock=clock,
+        executor=executor,
+        degradation_enabled=degradation_enabled,
+        service_scale=sc.service_scale,
+    )
+    report = ServingReport(
+        scenario=sc.name,
+        seed=seed,
+        degradation_enabled=degradation_enabled,
+        ladder_labels=ladder.labels(),
+        thresholds=list(ladder.thresholds),
+        rung0_ratio=ladder.rungs[0].ratio,
+        arrivals=len(requests),
+    )
+
+    # -- the event loop: (time, priority, seq, kind, payload) ----------------
+    # completions (priority 0) land before same-instant arrivals so a
+    # freed worker is visible to the dispatch that follows the arrival
+    events: List[Tuple[float, int, int, str, object]] = []
+    seq = 0
+    for request in requests:
+        events.append((request.arrival, 1, seq, "arrival", request))
+        seq += 1
+    heapq.heapify(events)
+    busy = 0
+    last_event_at = 0.0
+
+    def dispatch(now: float) -> None:
+        nonlocal busy, seq
+        width = controller.concurrency(sc.workers) - busy
+        if width <= 0:
+            return
+        for served in gateway.serve_batch(now, width):
+            done_at = now + served.service_seconds
+            heapq.heappush(events, (done_at, 0, seq, "done", served))
+            seq += 1
+            busy += 1
+
+    while events:
+        at, __, __, kind, payload = heapq.heappop(events)
+        if at > clock.now():
+            clock.advance(at - clock.now())
+        last_event_at = max(last_event_at, at)
+        if kind == "arrival":
+            gateway.submit(payload)
+        else:
+            served: ServedRequest = payload
+            busy -= 1
+            latency = at - served.request.arrival
+            controller.limiter.on_complete(latency)
+            report.latency.observe(latency, source="all")
+            report.latency.observe(latency, source=served.request.tenant)
+            report.wait.observe(served.wait_seconds, source="all")
+            if at <= served.request.deadline:
+                report.on_time += 1
+                report.bytes_on_time += served.request.size
+            else:
+                report.tardy += 1
+        dispatch(clock.now())
+    executor.close()
+
+    stats = gateway.stats
+    report.admitted = stats.admitted
+    report.throttled = stats.throttled
+    report.shed = stats.shed
+    report.expired = stats.expired
+    report.served = stats.served
+    report.degraded = stats.degraded
+    report.degraded_by_rung = dict(sorted(stats.degraded_by_rung.items()))
+    report.raw_fallbacks = stats.raw_fallbacks
+    report.bytes_in_served = stats.bytes_in_served
+    report.bytes_out = stats.bytes_out
+    report.bytes_in_degraded = stats.bytes_in_degraded
+    report.bytes_out_degraded = stats.bytes_out_degraded
+    report.first_degraded_at = stats.first_degraded_at
+    report.first_shed_at = stats.first_shed_at
+    report.makespan_seconds = last_event_at
+    return report
+
+
+def format_scorecard(report: ServingReport) -> str:
+    """Render the report; byte-identical for identical reports."""
+    lines = [
+        f"serving scorecard -- scenario '{report.scenario}', seed {report.seed}, "
+        f"degradation {'on' if report.degradation_enabled else 'off'}",
+        "",
+        f"ladder: {' -> '.join(report.ladder_labels)} "
+        f"(pressure thresholds {'/'.join(f'{t:.2f}' for t in report.thresholds)})",
+        "",
+        f"{'arrivals':>10s} {'admitted':>9s} {'throttled':>9s} {'shed':>6s} "
+        f"{'expired':>8s} {'served':>7s} {'on-time':>8s} {'tardy':>6s}",
+        f"{report.arrivals:10d} {report.admitted:9d} {report.throttled:9d} "
+        f"{report.shed:6d} {report.expired:8d} {report.served:7d} "
+        f"{report.on_time:8d} {report.tardy:6d}",
+        "",
+    ]
+    for name, hist in (("latency", report.latency), ("queue wait", report.wait)):
+        if hist.count(source="all"):
+            lines.append(
+                f"{name:10s} p50={hist.p50(source='all') * 1e3:9.3f} ms  "
+                f"p90={hist.p90(source='all') * 1e3:9.3f} ms  "
+                f"p99={hist.p99(source='all') * 1e3:9.3f} ms"
+            )
+    lines.append(
+        f"goodput    {report.goodput_bytes_per_second / 1e6:.3f} MB/s on-time "
+        f"({report.bytes_on_time} bytes in {report.makespan_seconds:.3f} s), "
+        f"shed rate {report.shed_rate() * 100:.1f}%"
+    )
+    lines.append(
+        f"ratio      achieved {report.achieved_ratio:.3f} "
+        f"(rung-0 reference {report.rung0_ratio:.3f}, "
+        f"lost to degradation {report.ratio_lost_to_degradation() * 100:.1f}%)"
+    )
+    if report.degraded:
+        lines.append(
+            f"degraded   {report.degraded} requests "
+            f"({report.degraded / max(1, report.served) * 100:.1f}% of served)"
+        )
+        for label, count in report.degraded_by_rung.items():
+            lines.append(f"  {label}: {count}")
+    if report.raw_fallbacks:
+        lines.append(f"raw fallbacks: {report.raw_fallbacks}")
+    timeline = []
+    if report.first_degraded_at is not None:
+        timeline.append(f"first degraded at {report.first_degraded_at:.3f} s")
+    if report.first_shed_at is not None:
+        timeline.append(f"first shed at {report.first_shed_at:.3f} s")
+    if timeline:
+        lines.append("; ".join(timeline))
+    return "\n".join(lines)

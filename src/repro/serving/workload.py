@@ -1,0 +1,244 @@
+"""Seeded open-loop workload generation for the serving plane.
+
+Open-loop means arrivals do not wait for completions — the defining
+property of datacenter overload (users keep clicking whether or not the
+service keeps up), and the reason an admission controller is needed at
+all. Two arrival processes:
+
+- ``poisson`` — homogeneous Poisson at ``rate_rps`` (exponential
+  inter-arrivals);
+- ``diurnal`` — an inhomogeneous Poisson whose rate follows a sinusoidal
+  day curve, ``rate * (1 + amplitude * sin(2*pi*t/period))``, generated
+  by thinning a homogeneous process at the peak rate. One simulated
+  "day" is compressed to ``period`` seconds, the usual trick for making
+  a diurnal study runnable.
+
+The tenant mix and payload shapes come from the same places the rest of
+the repository gets its truth: tenants are derived from the fleet
+registry (:mod:`repro.fleet.profiles` — category, traffic weight, and
+lognormal payload-size parameters), and payload *content* comes from the
+:mod:`repro.corpus` generators for that category, sliced from one
+pre-generated corpus per tenant so a 10k-request run stays cheap.
+
+Everything draws from one :class:`~repro.corpus.SeededSampler`, so the
+full request sequence is a pure function of ``(tenants, rate, duration,
+seed, process)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.corpus import (
+    CACHE1_TYPES,
+    SeededSampler,
+    generate_ads_request,
+    generate_cache_items,
+    generate_logs,
+    generate_records,
+)
+from repro.fleet.profiles import DEFAULT_FLEET, ServiceProfile
+from repro.serving.queue import ServingRequest
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's traffic shape."""
+
+    name: str
+    #: relative arrival share and fair-queue weight
+    weight: float
+    #: lognormal payload size parameters (median bytes, sigma)
+    median_bytes: int
+    sigma: float
+    #: per-request deadline, seconds after arrival (inf = none)
+    deadline_seconds: float
+    #: corpus family the payload bytes come from
+    corpus: str = "records"
+
+
+#: deadline budgets per fleet category, seconds — tight for interactive
+#: categories, loose for batch (the Section-IV requirements in miniature)
+_CATEGORY_DEADLINES = {
+    "Cache": 0.05,
+    "Key-Value Store": 0.10,
+    "Web": 0.20,
+    "Feed": 0.10,
+    "Ads": 0.50,
+    "Data Warehouse": 5.0,
+}
+
+#: corpus family per fleet category
+_CATEGORY_CORPUS = {
+    "Cache": "cache",
+    "Key-Value Store": "records",
+    "Web": "logs",
+    "Feed": "records",
+    "Ads": "ads",
+    "Data Warehouse": "logs",
+}
+
+
+def tenants_from_fleet(
+    categories: Sequence[str] = ("Cache", "Key-Value Store", "Web", "Ads"),
+    fleet: Optional[List[ServiceProfile]] = None,
+    max_median_bytes: int = 16384,
+) -> List[TenantSpec]:
+    """One tenant per category: its biggest compression user.
+
+    The tenant's weight is the service's share of fleet compression
+    cycles (compute share x compression share), its payload sizes are the
+    profile's lognormal block-size parameters (clamped so the pure-Python
+    codecs stay fast), and its deadline follows the category.
+    """
+    fleet = fleet if fleet is not None else DEFAULT_FLEET
+    tenants: List[TenantSpec] = []
+    for category in categories:
+        candidates = [p for p in fleet if p.category == category]
+        if not candidates:
+            raise ValueError(f"no fleet profile in category {category!r}")
+        top = max(
+            candidates,
+            key=lambda p: p.fleet_compute_share * p.compression_share,
+        )
+        median, sigma = top.block_size
+        tenants.append(
+            TenantSpec(
+                name=top.name,
+                weight=top.fleet_compute_share * top.compression_share,
+                median_bytes=min(median, max_median_bytes),
+                sigma=sigma,
+                deadline_seconds=_CATEGORY_DEADLINES.get(category, 1.0),
+                corpus=_CATEGORY_CORPUS.get(category, "records"),
+            )
+        )
+    total = sum(t.weight for t in tenants)
+    return [
+        TenantSpec(
+            t.name,
+            t.weight / total,
+            t.median_bytes,
+            t.sigma,
+            t.deadline_seconds,
+            t.corpus,
+        )
+        for t in tenants
+    ]
+
+
+def _tenant_corpus(spec: TenantSpec, seed: int, size: int = 1 << 17) -> bytes:
+    """One deterministic corpus blob per tenant; requests slice windows."""
+    if spec.corpus == "cache":
+        items = generate_cache_items(CACHE1_TYPES, 64, seed=seed)
+        blob = b"".join(payload for __, payload in items)
+    elif spec.corpus == "logs":
+        blob = generate_logs(size, seed=seed)
+    elif spec.corpus == "ads":
+        blob = b"".join(
+            generate_ads_request("A", seed=seed + i) for i in range(4)
+        )
+    else:
+        blob = generate_records(size, seed=seed)
+    while len(blob) < size:
+        blob += blob
+    return blob[:size]
+
+
+class WorkloadGenerator:
+    """Deterministic open-loop request stream."""
+
+    def __init__(
+        self,
+        tenants: Optional[Sequence[TenantSpec]] = None,
+        rate_rps: float = 50.0,
+        duration_seconds: float = 10.0,
+        seed: int = 7,
+        process: str = "poisson",
+        diurnal_amplitude: float = 0.6,
+        diurnal_period: Optional[float] = None,
+    ) -> None:
+        if process not in ("poisson", "diurnal"):
+            raise ValueError("process must be 'poisson' or 'diurnal'")
+        if rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if not 0 <= diurnal_amplitude < 1:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        self.tenants = (
+            list(tenants) if tenants is not None else tenants_from_fleet()
+        )
+        self.rate_rps = rate_rps
+        self.duration_seconds = duration_seconds
+        self.seed = seed
+        self.process = process
+        self.diurnal_amplitude = diurnal_amplitude
+        self.diurnal_period = (
+            diurnal_period if diurnal_period is not None else duration_seconds
+        )
+        self._corpora: Dict[str, bytes] = {}
+
+    def tenant_weights(self) -> Dict[str, float]:
+        return {t.name: t.weight for t in self.tenants}
+
+    def _rate_at(self, t: float) -> float:
+        if self.process == "poisson":
+            return self.rate_rps
+        phase = 2.0 * math.pi * t / self.diurnal_period
+        return self.rate_rps * (1.0 + self.diurnal_amplitude * math.sin(phase))
+
+    def generate(self) -> List[ServingRequest]:
+        """The full request list, arrival-ordered."""
+        sampler = SeededSampler(self.seed)
+        rng = sampler.rng
+        names = [t.name for t in self.tenants]
+        weights = [t.weight for t in self.tenants]
+        by_name = {t.name: t for t in self.tenants}
+        peak = (
+            self.rate_rps * (1.0 + self.diurnal_amplitude)
+            if self.process == "diurnal"
+            else self.rate_rps
+        )
+        requests: List[ServingRequest] = []
+        t = 0.0
+        request_id = 0
+        while True:
+            t += float(rng.exponential(1.0 / peak))
+            if t >= self.duration_seconds:
+                break
+            # thinning: accept with probability lambda(t) / peak
+            if self.process == "diurnal" and (
+                float(rng.random()) >= self._rate_at(t) / peak
+            ):
+                continue
+            name = str(rng.choice(names, p=weights))
+            spec = by_name[name]
+            size = int(
+                min(
+                    max(
+                        rng.lognormal(
+                            mean=math.log(spec.median_bytes), sigma=spec.sigma
+                        ),
+                        64,
+                    ),
+                    1 << 16,
+                )
+            )
+            corpus = self._corpora.get(name)
+            if corpus is None:
+                corpus = self._corpora[name] = _tenant_corpus(
+                    spec, seed=self.seed * 1009 + len(self._corpora)
+                )
+            start = int(rng.integers(0, max(1, len(corpus) - size)))
+            payload = corpus[start : start + size]
+            requests.append(
+                ServingRequest(
+                    request_id=request_id,
+                    tenant=name,
+                    payload=payload,
+                    arrival=t,
+                    deadline=t + spec.deadline_seconds,
+                )
+            )
+            request_id += 1
+        return requests

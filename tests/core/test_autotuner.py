@@ -80,3 +80,43 @@ class TestAutoTuner:
         tuner.observe([generate_records(4096, seed=3)] * 3)
         assert tuner.current.config.algorithm == "zstd"
         assert tuner.current.metrics.compression_speed >= 250e6
+
+
+class TestTuningEvents:
+    def test_initial_event_records_full_drift(self, tuner):
+        event = tuner.observe([generate_records(2048, seed=9)])
+        assert event.reason == "initial tuning"
+        assert event.drift == 1.0
+        assert tuner.history == [event]
+        assert event.chosen is tuner.current
+
+    def test_drift_event_contents(self, tuner):
+        tuner.observe([generate_records(4096, seed=1)] * 4)
+        drifted = [generate_ads_request("B", seed=s)[:4096] for s in range(4)]
+        event = tuner.observe(drifted)
+        assert event is tuner.history[-1]
+        assert event.reason == f"drift {event.drift:.3f} >= {tuner.drift_threshold}"
+        assert tuner.drift_threshold <= event.drift <= 1.0
+        assert event.chosen is tuner.current
+        assert event.chosen.config in tuner.candidates
+
+    def test_retune_refreshes_tuned_histogram(self, tuner):
+        tuner.observe([generate_records(4096, seed=1)] * 4)
+        drifted = [generate_ads_request("B", seed=s)[:4096] for s in range(4)]
+        assert tuner.observe(drifted) is not None
+        # the drifted distribution is now the tuned baseline: feeding the
+        # same samples again must not retune
+        assert tuner.observe(drifted) is None
+        assert len(tuner.history) == 2
+
+    def test_infeasible_requirements_fall_back_to_best_any(self):
+        from repro.core import MinCompressionSpeed
+
+        model = CostModel(CostParameters.from_price_book(beta=1e-6))
+        grid = config_grid(["zstd"], levels=[1, 3])
+        tuner = AutoTuner(
+            model, grid, requirements=[MinCompressionSpeed(1e18)]
+        )
+        event = tuner.observe([generate_records(4096, seed=4)] * 3)
+        assert event is not None and event.chosen is not None
+        assert not event.chosen.feasible

@@ -188,3 +188,58 @@ class TestRegistryMerge:
         reg.counter("m")
         with pytest.raises(TypeError):
             reg.histogram("m")
+
+
+class TestPercentileMonotonicity:
+    """p50 <= p90 <= p99 must hold on adversarial bucket boundaries."""
+
+    def _assert_monotone(self, hist, **labels):
+        sweep = [hist.percentile(p, **labels) for p in range(0, 101, 1)]
+        for lo, hi in zip(sweep, sweep[1:]):
+            assert lo <= hi, sweep
+        assert hist.p50(**labels) <= hist.p90(**labels) <= hist.p99(**labels)
+        if hist.count(**labels):
+            assert hist.percentile(100, **labels) <= hist.max(**labels)
+
+    def test_exact_bucket_boundaries(self):
+        import math
+
+        hist = Histogram("bound", buckets_per_octave=4)
+        base = math.log(2.0) / 4
+        # values pinned exactly on (and a half-ulp around) the log-bucket
+        # edges, where floor(log(v)/base) is most likely to waver
+        for k in range(-40, 41):
+            edge = math.exp(k * base)
+            for value in (edge, math.nextafter(edge, 0.0),
+                          math.nextafter(edge, math.inf)):
+                hist.observe(value)
+        self._assert_monotone(hist)
+
+    def test_zeros_and_wide_dynamic_range(self):
+        hist = Histogram("zeros", buckets_per_octave=4)
+        for __ in range(10):
+            hist.observe(0.0)
+        for value in (1e-9, 1e-9, 1e-3, 1.0, 1.0, 1e6):
+            hist.observe(value)
+        self._assert_monotone(hist)
+        # with 10/16 observations at zero, the median is the zero floor
+        assert hist.p50() == 0.0
+
+    def test_single_value_collapses(self):
+        hist = Histogram("single", buckets_per_octave=4)
+        hist.observe(0.125)
+        assert hist.p50() == hist.p90() == hist.p99() == 0.125
+        self._assert_monotone(hist)
+
+    def test_monotone_after_merge(self):
+        import math
+
+        a = Histogram("m", buckets_per_octave=4)
+        b = Histogram("m", buckets_per_octave=4)
+        base = math.log(2.0) / 4
+        for k in range(-12, 13):
+            a.observe(math.exp(k * base), source="x")
+            b.observe(math.exp((k + 0.5) * base), source="x")
+        b.observe(0.0, source="x")
+        a.merge(b)
+        self._assert_monotone(a, source="x")

@@ -114,3 +114,62 @@ class TestTraining:
         assert stats.decompress_calls == 20
         assert stats.raw_bytes == sum(len(p) for p in payloads)
         assert stats.ratio > 1.0
+
+
+class TestDictionaryLossEdgeCases:
+    def _trained_service(self):
+        service = ManagedCompression(sample_every=1)
+        service.register_use_case(
+            "loss", retrain_interval=8, max_versions=4
+        )
+        for payload in _payloads(16):
+            service.compress("loss", payload)
+        assert service.current_version("loss") >= 1
+        return service
+
+    def test_drop_current_version_degrades_to_dictionaryless(self):
+        service = self._trained_service()
+        current = service.current_version("loss")
+        payload = _payloads(1, seed=11)[0]
+        dictionary_blob = service.compress("loss", payload)
+        assert dictionary_blob.dictionary_version == current
+
+        assert service.drop_dictionary("loss", current) is True
+        assert current not in service.available_versions("loss")
+
+        # new blobs must say "no dictionary" (version 0), not name the
+        # missing version -- and still roundtrip
+        raw_blob = service.compress("loss", payload)
+        assert raw_blob.dictionary_version == 0
+        assert service.decompress(raw_blob) == payload
+
+        # old blobs naming the dropped version take the typed error path
+        from repro.services.managed import DictionaryRetiredError
+
+        with pytest.raises(DictionaryRetiredError) as excinfo:
+            service.decompress(dictionary_blob)
+        assert excinfo.value.version == current
+        assert service.stats("loss").retired_blobs == 1
+
+    def test_drop_missing_version_returns_false(self):
+        service = self._trained_service()
+        assert service.drop_dictionary("loss", 999) is False
+
+    def test_force_retrain_with_no_samples_keeps_version(self):
+        service = ManagedCompression()
+        service.register_use_case("fresh")
+        before = service.current_version("fresh")
+        assert service.force_retrain("fresh") == before
+        assert service.stats("fresh").retrains == 0
+        assert service.available_versions("fresh") == ()
+
+    def test_force_retrain_with_too_few_samples_keeps_version(self):
+        # two tiny samples train an empty dictionary: the retrain must be
+        # a no-op on the version chain, not publish a useless version
+        service = ManagedCompression(sample_every=1)
+        service.register_use_case("tiny")
+        service.compress("tiny", b"ab")
+        service.compress("tiny", b"cd")
+        before = service.current_version("tiny")
+        assert service.force_retrain("tiny") == before
+        assert service.stats("tiny").retrains == 0

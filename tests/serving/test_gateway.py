@@ -1,0 +1,214 @@
+"""CompressionGateway: admission, degradation, breakers, raw fallback."""
+
+import pytest
+
+from repro import obs
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, FaultyCodec
+from repro.codecs import get_codec
+from repro.obs.instrument import SERVING_DEGRADED, SERVING_REQUESTS
+from repro.resilience.clock import SimClock
+from repro.serving.degrade import DegradationLadder, Rung
+from repro.serving.gateway import RAW_COPY_BANDWIDTH, CompressionGateway
+from repro.serving.queue import ServingRequest
+from repro.core.config import CompressionConfig
+
+
+def _ladder():
+    def rung(algorithm, level, spb, ratio, cost):
+        return Rung(
+            config=CompressionConfig(algorithm=algorithm, level=level),
+            seconds_per_byte=spb,
+            ratio=ratio,
+            total_cost=cost,
+        )
+
+    return DegradationLadder(
+        [
+            rung("zstd", 6, 4e-9, 5.0, 1.0),
+            rung("zstd", 1, 2e-9, 4.0, 1.2),
+            rung("lz4", 1, 1e-9, 3.0, 1.5),
+        ],
+        thresholds=[0.3, 0.7],
+    )
+
+
+def _request(request_id, tenant="t", size=2048, arrival=0.0):
+    stamp = b"gateway payload %d " % request_id
+    payload = stamp * (size // len(stamp) + 1)
+    return ServingRequest(
+        request_id=request_id,
+        tenant=tenant,
+        payload=payload[:size],
+        arrival=arrival,
+    )
+
+
+def _always_fail_injector():
+    return FaultInjector(
+        FaultPlan("always", (FaultSpec("codec", "fail", 1.0),)), seed=1
+    )
+
+
+class TestDataPath:
+    def test_admit_serve_roundtrip_accounting(self):
+        gateway = CompressionGateway(_ladder(), capacity=16)
+        for i in range(4):
+            assert gateway.submit(_request(i)).admitted
+        served = gateway.serve_batch(0.0, 10)
+        assert len(served) == 4
+        stats = gateway.stats
+        assert stats.submitted == stats.admitted == stats.served == 4
+        assert stats.shed == stats.expired == stats.raw_fallbacks == 0
+        for item in served:
+            assert item.rung_index == 0  # pressure 4/16 under 0.3
+            assert not item.raw_fallback
+            assert 0 < item.bytes_out < item.request.size
+            assert item.service_seconds > 0
+        assert stats.bytes_out == sum(s.bytes_out for s in served)
+        assert stats.bytes_in_served == 4 * 2048
+
+    def test_serve_respects_max_count(self):
+        gateway = CompressionGateway(_ladder(), capacity=16)
+        for i in range(6):
+            gateway.submit(_request(i))
+        assert len(gateway.serve_batch(0.0, 2)) == 2
+        assert gateway.queue.depth() == 4
+
+    def test_service_scale_multiplies_modeled_time(self):
+        plain = CompressionGateway(_ladder(), capacity=16)
+        scaled = CompressionGateway(_ladder(), capacity=16, service_scale=100.0)
+        plain.submit(_request(0))
+        scaled.submit(_request(0))
+        base = plain.serve_batch(0.0, 1)[0]
+        slow = scaled.serve_batch(0.0, 1)[0]
+        assert slow.bytes_out == base.bytes_out  # output is never scaled
+        # the fixed per-request overhead is not subject to host contention
+        overhead = plain.overhead_seconds
+        assert slow.service_seconds - overhead == pytest.approx(
+            (base.service_seconds - overhead) * 100.0
+        )
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            CompressionGateway(_ladder(), capacity=0)
+        with pytest.raises(ValueError):
+            CompressionGateway(_ladder(), service_scale=0.0)
+
+
+class TestDegradation:
+    def test_pressure_selects_deeper_rungs(self):
+        gateway = CompressionGateway(_ladder(), capacity=10)
+        for i in range(8):
+            gateway.submit(_request(i))
+        # pressure at first dequeue is 0.8: past both thresholds
+        served = gateway.serve_batch(0.0, 8)
+        assert served[0].rung_index == 2
+        assert served[0].rung_label == "lz4-1"
+        # the queue drains as the batch forms, so the tail degrades less
+        assert served[-1].rung_index == 0
+        assert gateway.stats.degraded == sum(1 for s in served if s.degraded)
+        assert gateway.stats.first_degraded_at is not None
+
+    def test_degradation_disabled_pins_rung0(self):
+        gateway = CompressionGateway(
+            _ladder(), capacity=10, degradation_enabled=False
+        )
+        for i in range(8):
+            gateway.submit(_request(i))
+        served = gateway.serve_batch(0.0, 8)
+        assert all(s.rung_index == 0 for s in served)
+        assert gateway.stats.degraded == 0
+
+    def test_shed_when_lane_full(self):
+        gateway = CompressionGateway(_ladder(), capacity=2)
+        clock = gateway.clock
+        assert gateway.submit(_request(0)).admitted
+        assert gateway.submit(_request(1)).admitted
+        clock.advance(1.5)
+        verdict = gateway.submit(_request(2))
+        assert verdict.decision == "shed"
+        assert gateway.stats.shed == 1
+        assert gateway.stats.first_shed_at == pytest.approx(1.5)
+
+
+class TestFaultsAndBreakers:
+    def test_codec_failure_falls_back_to_raw(self):
+        injector = _always_fail_injector()
+        clock = SimClock()
+        gateway = CompressionGateway(
+            _ladder(),
+            capacity=16,
+            clock=clock,
+            codec_factory=lambda name: FaultyCodec(
+                get_codec(name), injector, clock=clock
+            ),
+        )
+        gateway.submit(_request(0))
+        served = gateway.serve_batch(0.0, 1)[0]
+        assert served.raw_fallback
+        assert served.bytes_out == served.request.size  # raw passthrough
+        expected = (
+            served.request.size / RAW_COPY_BANDWIDTH
+            + gateway.overhead_seconds
+        )
+        assert served.service_seconds == pytest.approx(expected)
+        assert gateway.stats.raw_fallbacks == 1
+        assert gateway.stats.served == 1
+
+    def test_breaker_opens_after_repeated_failures(self):
+        injector = _always_fail_injector()
+        clock = SimClock()
+        gateway = CompressionGateway(
+            _ladder(),
+            capacity=64,
+            clock=clock,
+            codec_factory=lambda name: FaultyCodec(
+                get_codec(name), injector, clock=clock
+            ),
+            breaker_failure_threshold=3,
+            breaker_cooldown_seconds=10.0,
+        )
+        for i in range(6):
+            gateway.submit(_request(i))
+            gateway.serve_batch(clock.now(), 1)
+        assert not gateway.breaker("zstd").allow()
+        # every request was still served -- raw, never dropped
+        assert gateway.stats.served == 6
+        assert gateway.stats.raw_fallbacks == 6
+
+    def test_healthy_codec_keeps_breaker_closed(self):
+        gateway = CompressionGateway(_ladder(), capacity=16)
+        for i in range(5):
+            gateway.submit(_request(i))
+        gateway.serve_batch(0.0, 5)
+        assert gateway.breaker("zstd").allow()
+        assert gateway.stats.raw_fallbacks == 0
+
+
+class TestTelemetry:
+    def test_disabled_obs_records_nothing(self):
+        obs.reset()
+        obs.disable()
+        gateway = CompressionGateway(_ladder(), capacity=16)
+        gateway.submit(_request(0))
+        gateway.serve_batch(0.0, 1)
+        assert len(obs.get_registry()) == 0
+
+    def test_enabled_obs_records_verdicts_and_service(self):
+        obs.reset()
+        obs.enable()
+        try:
+            gateway = CompressionGateway(_ladder(), capacity=10)
+            for i in range(8):
+                gateway.submit(_request(i, tenant="tenant-a"))
+            gateway.serve_batch(0.0, 8)
+            registry = obs.get_registry()
+            requests = registry.counter(SERVING_REQUESTS)
+            assert (
+                requests.value(tenant="tenant-a", verdict="admit") == 8
+            )
+            degraded = registry.counter(SERVING_DEGRADED)
+            assert degraded.total() == gateway.stats.degraded > 0
+        finally:
+            obs.disable()
+            obs.reset()

@@ -1,0 +1,127 @@
+"""Workload generation: determinism, arrival processes, fleet tenants."""
+
+import pytest
+
+from repro.fleet.profiles import DEFAULT_FLEET
+from repro.serving.workload import (
+    TenantSpec,
+    WorkloadGenerator,
+    tenants_from_fleet,
+)
+
+_FAST_TENANTS = [
+    TenantSpec(
+        name="alpha",
+        weight=0.7,
+        median_bytes=512,
+        sigma=0.5,
+        deadline_seconds=0.1,
+        corpus="logs",
+    ),
+    TenantSpec(
+        name="beta",
+        weight=0.3,
+        median_bytes=1024,
+        sigma=0.5,
+        deadline_seconds=1.0,
+        corpus="records",
+    ),
+]
+
+
+class TestFleetTenants:
+    def test_default_tenants_normalized(self):
+        tenants = tenants_from_fleet()
+        assert len(tenants) == 4
+        assert sum(t.weight for t in tenants) == pytest.approx(1.0)
+        assert all(t.weight > 0 for t in tenants)
+        assert all(64 <= t.median_bytes <= 16384 for t in tenants)
+        # every tenant is a real fleet service
+        names = {p.name for p in DEFAULT_FLEET}
+        assert all(t.name in names for t in tenants)
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            tenants_from_fleet(categories=("No Such Category",))
+
+
+class TestGeneration:
+    def test_deterministic_per_seed(self):
+        def run():
+            return WorkloadGenerator(
+                _FAST_TENANTS, rate_rps=200, duration_seconds=1.0, seed=5
+            ).generate()
+
+        a, b = run(), run()
+        assert len(a) == len(b) > 0
+        for left, right in zip(a, b):
+            assert left == right
+
+    def test_different_seed_differs(self):
+        a = WorkloadGenerator(
+            _FAST_TENANTS, rate_rps=200, duration_seconds=1.0, seed=5
+        ).generate()
+        b = WorkloadGenerator(
+            _FAST_TENANTS, rate_rps=200, duration_seconds=1.0, seed=6
+        ).generate()
+        assert [r.arrival for r in a] != [r.arrival for r in b]
+
+    def test_request_shape(self):
+        requests = WorkloadGenerator(
+            _FAST_TENANTS, rate_rps=300, duration_seconds=1.0, seed=7
+        ).generate()
+        assert len(requests) > 100
+        names = {t.name for t in _FAST_TENANTS}
+        deadlines = {t.name: t.deadline_seconds for t in _FAST_TENANTS}
+        previous = 0.0
+        for i, request in enumerate(requests):
+            assert request.request_id == i
+            assert request.tenant in names
+            assert previous <= request.arrival < 1.0
+            assert 64 <= request.size <= 1 << 16
+            assert request.deadline == pytest.approx(
+                request.arrival + deadlines[request.tenant]
+            )
+            previous = request.arrival
+
+    def test_tenant_mix_follows_weights(self):
+        requests = WorkloadGenerator(
+            _FAST_TENANTS, rate_rps=500, duration_seconds=2.0, seed=11
+        ).generate()
+        share = sum(r.tenant == "alpha" for r in requests) / len(requests)
+        assert share == pytest.approx(0.7, abs=0.08)
+
+    def test_poisson_rate_is_unscaled_by_amplitude(self):
+        # the diurnal amplitude must not inflate a pure Poisson stream
+        requests = WorkloadGenerator(
+            _FAST_TENANTS,
+            rate_rps=400,
+            duration_seconds=2.0,
+            seed=13,
+            process="poisson",
+            diurnal_amplitude=0.9,
+        ).generate()
+        assert len(requests) == pytest.approx(800, rel=0.15)
+
+    def test_diurnal_peak_in_first_half(self):
+        # one sinusoidal period over the run: rate above average in the
+        # first half (sin > 0), below in the second
+        requests = WorkloadGenerator(
+            _FAST_TENANTS,
+            rate_rps=400,
+            duration_seconds=2.0,
+            seed=17,
+            process="diurnal",
+            diurnal_amplitude=0.8,
+        ).generate()
+        first = sum(r.arrival < 1.0 for r in requests)
+        second = len(requests) - first
+        assert first > second * 1.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(_FAST_TENANTS, process="bursty")
+        with pytest.raises(ValueError):
+            WorkloadGenerator(_FAST_TENANTS, rate_rps=0.0)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(_FAST_TENANTS, diurnal_amplitude=1.0)

@@ -106,3 +106,45 @@ class TestFleetReport:
         out = capsys.readouterr().out
         assert "compression share" in out
         assert "Data Warehouse" in out
+
+
+class TestConsoleEntryPoint:
+    def test_scripts_entry_resolves_to_cli_main(self):
+        import importlib
+        import pathlib
+
+        tomllib = pytest.importorskip("tomllib")
+        pyproject = pathlib.Path(__file__).resolve().parents[1] / "pyproject.toml"
+        scripts = tomllib.loads(pyproject.read_text())["project"]["scripts"]
+        assert scripts == {"repro": "repro.cli:main"}
+        module_name, __, attr = scripts["repro"].partition(":")
+        entry = getattr(importlib.import_module(module_name), attr)
+        assert entry is main
+        # the resolved entry behaves like a console script: bad usage
+        # exits through argparse with the conventional status 2
+        with pytest.raises(SystemExit) as excinfo:
+            entry(["--no-such-flag"])
+        assert excinfo.value.code == 2
+
+
+class TestServeSim:
+    def test_scorecard_and_passing_gates(self, capsys):
+        assert main(
+            [
+                "serve-sim", "--scenario", "overload", "--seed", "7",
+                "--scale", "0.1", "--max-shed-rate", "1.0",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving scorecard -- scenario 'overload', seed 7" in out
+        assert "ladder:" in out
+        assert "goodput" in out
+
+    def test_min_served_gate_fails(self, capsys):
+        assert main(
+            [
+                "serve-sim", "--scenario", "baseline", "--seed", "7",
+                "--scale", "0.05", "--min-served", "1000000",
+            ]
+        ) == 1
+        assert "FAIL" in capsys.readouterr().out
