@@ -10,8 +10,17 @@ no telemetry branch — and fails if the instrumented path is more than 5%
 slower (plus a small absolute epsilon so sub-millisecond noise cannot trip
 the gate).
 
+The same contract extends to the serving plane's time-series hooks: a
+gateway constructed without a recorder must never reach the window
+recording functions — the audit here stubs them to raise and drives a
+full burst through the hot path to prove the ``recorder is None`` guard
+covers every call site.
+
 Runs standalone (``python benchmarks/bench_obs_overhead.py``, exit code 1
-on regression) and under ``pytest benchmarks/``.
+on regression) and under ``pytest benchmarks/``. Standalone runs append
+the measured overhead ratios to the benchmark trajectory with a wide
+per-entry tolerance (wall-clock numbers never enter the committed
+deterministic baseline).
 """
 
 from __future__ import annotations
@@ -117,6 +126,50 @@ def _report(results: dict) -> str:
     return "\n".join(lines)
 
 
+def audit_serving_hooks_without_recorder() -> int:
+    """Zero-cost audit: a recorder-less gateway must never call the
+    window recording hooks. Returns the number of requests served."""
+    import repro.serving.gateway as gateway_mod
+    from repro.serving import CompressionGateway, ServingRequest, build_ladder
+
+    def _must_not_be_called(*_args, **_kwargs):
+        raise AssertionError(
+            "serving obs hook reached with recorder=None — the "
+            "`recorder is not None` guard is missing at a call site"
+        )
+
+    payloads = [
+        f"audit payload {i:03d} structured compressible body ".encode() * 16
+        for i in range(24)
+    ]
+    ladder = build_ladder(payloads[:4], algorithms=("zstd",), levels=(1,))
+    saved = (
+        gateway_mod.record_window_verdict,
+        gateway_mod.record_window_served,
+    )
+    gateway_mod.record_window_verdict = _must_not_be_called
+    gateway_mod.record_window_served = _must_not_be_called
+    try:
+        gateway = CompressionGateway(ladder, capacity=16)
+        assert gateway.recorder is None
+        for i, payload in enumerate(payloads):
+            gateway.submit(
+                ServingRequest(
+                    request_id=i,
+                    tenant=f"tenant-{i % 2}",
+                    payload=payload,
+                    arrival=0.0,
+                )
+            )
+        served = 0
+        while gateway.queue.depth():
+            served += len(gateway.serve_batch(0.0, 8))
+    finally:
+        gateway_mod.record_window_verdict = saved[0]
+        gateway_mod.record_window_served = saved[1]
+    return served
+
+
 def test_disabled_telemetry_overhead():
     """Tier-2 guard: disabled-telemetry codec calls stay within 5%."""
     results = measure()
@@ -124,9 +177,34 @@ def test_disabled_telemetry_overhead():
     assert not failures, "\n".join([_report(results)] + failures)
 
 
+def test_serving_hooks_skipped_without_recorder():
+    """Tier-2 guard: recorder-less gateways do zero time-series work."""
+    served = audit_serving_hooks_without_recorder()
+    assert served > 0
+
+
+def _record_trajectory(results: dict) -> None:
+    import trajectory
+
+    for direction, (baseline, instrumented) in results.items():
+        if not baseline:
+            continue
+        trajectory.record(
+            f"obs.disabled_overhead.{direction}_x",
+            instrumented / baseline,
+            "x",
+            higher_is_better=False,
+            # wall-clock ratio: wide tolerance so machine noise can't flake
+            tolerance=0.50,
+        )
+
+
 def main() -> int:
     results = measure()
     print(_report(results))
+    served = audit_serving_hooks_without_recorder()
+    print(f"PASS serving hooks silent without a recorder ({served} served)")
+    _record_trajectory(results)
     failures = check(results)
     for failure in failures:
         print(f"FAIL {failure}")

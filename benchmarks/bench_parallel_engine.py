@@ -11,6 +11,8 @@ is reported.
 
 from __future__ import annotations
 
+import trajectory
+
 from repro.analysis import format_table
 from repro.codecs import get_codec
 from repro.corpus import silesia_like_corpus
@@ -32,6 +34,12 @@ def test_parallel_chunk_tradeoff(benchmark, figure_output):
             pooled = compress_chunked(codec, data, 1, chunk_size=chunk_size, jobs=2)
             assert chunked.data == pooled.data, (codec_name, chunk_size)
             assert codec.decompress(chunked.data).data == data
+            if codec_name == "zstd" and chunk_size in (16 << 10, 64 << 10):
+                trajectory.record(
+                    f"parallel.zstd1.ratio_{chunk_size >> 10}k",
+                    chunked.ratio,
+                    "x",
+                )
             rows.append(
                 [
                     codec_name,

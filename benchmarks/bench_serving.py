@@ -15,6 +15,8 @@ compression dispatch.
 
 from __future__ import annotations
 
+import trajectory
+
 from repro.analysis import format_table
 from repro.serving import (
     CompressionGateway,
@@ -56,6 +58,30 @@ def test_serving_overload_baseline(benchmark, figure_output):
     if ladder_on.first_shed_at is not None:
         assert ladder_on.first_degraded_at is not None
         assert ladder_on.first_degraded_at < ladder_on.first_shed_at
+
+    # fold the headline numbers into the perf trajectory (same names
+    # `python benchmarks/trajectory.py` regenerates for the CI baseline;
+    # the run is deterministic so re-recording is byte-stable)
+    trajectory.record(
+        "serving.overload.p99_ms",
+        ladder_on.latency.p99(source="all") * 1e3,
+        "ms",
+        higher_is_better=False,
+    )
+    trajectory.record(
+        "serving.overload.goodput_mbps",
+        ladder_on.goodput_bytes_per_second / 1e6,
+        "MB/s",
+    )
+    trajectory.record(
+        "serving.overload.ratio_lost_pct",
+        ladder_on.ratio_lost_to_degradation() * 100,
+        "%",
+        higher_is_better=False,
+    )
+    trajectory.record(
+        "serving.overload.served", float(ladder_on.served), "requests"
+    )
 
     figure_output(
         "serving_overload_baseline",

@@ -41,7 +41,7 @@ trip is the dominant, honest cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.codecs import get_codec
 from repro.faults import (
@@ -53,6 +53,17 @@ from repro.faults import (
     scrub_sstable,
 )
 from repro.obs.metrics import Histogram
+from repro.obs.slo import (
+    OK as SLO_OK,
+    PAGE,
+    WARN,
+    AlertTransition,
+    BurnRule,
+    EventRateSLO,
+    SLOEvaluator,
+    metric_total,
+)
+from repro.obs.timeseries import TimeSeriesRecorder, WindowSnapshot
 from repro.resilience import CircuitBreaker, RetryPolicy, SimClock
 from repro.services.cache.client import CacheClient
 from repro.services.cache.server import CacheServer
@@ -84,10 +95,57 @@ class ScenarioResult:
     failed: int
     #: deterministic scenario-specific extras, insertion-ordered
     notes: Dict[str, int] = field(default_factory=dict)
+    #: per-operation outcome sequence ("ok"/"recovered"/"failed"), in the
+    #: order operations resolved — the stream the alert timeline windows
+    outcomes: List[str] = field(default_factory=list)
 
     @property
     def survived(self) -> int:
         return self.ok + self.recovered
+
+
+@dataclass(frozen=True)
+class ChaosWindow:
+    """One op-index window of the chaos run's outcome stream."""
+
+    index: int
+    start_op: int
+    end_op: int
+    ok: int
+    recovered: int
+    failed: int
+    #: alert state per SLO after this window's evaluation
+    states: Dict[str, str]
+    transitions: Tuple[AlertTransition, ...]
+
+
+@dataclass
+class ChaosTimeline:
+    """The chaos run's alert timeline, windowed over operation index.
+
+    The recorder never interprets its time unit, so the chaos plane
+    drives it with the global operation counter: window N covers ops
+    ``[N * window_ops, (N + 1) * window_ops)`` across the scenario
+    sequence. Deterministic per ``(plan, seed, ops)`` like everything
+    else in the scorecard.
+    """
+
+    window_ops: int
+    windows: List[ChaosWindow] = field(default_factory=list)
+    final_states: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def transitions(self) -> List[AlertTransition]:
+        return [t for w in self.windows for t in w.transitions]
+
+    def worst_state(self) -> str:
+        rank = {SLO_OK: 0, WARN: 1, PAGE: 2}
+        worst = SLO_OK
+        for window in self.windows:
+            for state in window.states.values():
+                if rank[state] > rank[worst]:
+                    worst = state
+        return worst
 
 
 @dataclass
@@ -101,6 +159,8 @@ class ChaosReport:
     recovery: Histogram
     #: every (site, kind) fired, with counts, sorted
     fault_breakdown: List[Tuple[str, str, int]]
+    #: windowed alert timeline over the outcome stream
+    timeline: Optional[ChaosTimeline] = None
 
     @property
     def operations(self) -> int:
@@ -145,6 +205,7 @@ def _run_rpc(
     )
     faulty = FaultyChannel(channel, injector)
     ok = recovered = failed = 0
+    outcomes: List[str] = []
     for i in range(count):
         payload = f"rpc message {i:05d} compressible body ".encode() * 48
         before = channel.stats.recovered_messages
@@ -152,20 +213,25 @@ def _run_rpc(
             received, elapsed = faulty.send(payload)
         except RpcExhaustedError:
             failed += 1
+            outcomes.append("failed")
             continue
         if received != payload:
             failed += 1  # silent corruption slipped the validator
+            outcomes.append("failed")
         elif channel.stats.recovered_messages > before:
             recovered += 1
+            outcomes.append("recovered")
             _observe_recovery(recovery, "rpc", elapsed)
         else:
             ok += 1
+            outcomes.append("ok")
     return ScenarioResult(
         "rpc",
         count,
         ok,
         recovered,
         failed,
+        outcomes=outcomes,
         notes={
             "retries": channel.stats.retries,
             "drops": channel.stats.drops,
@@ -199,10 +265,12 @@ def _run_cache(
         server.set(key, "chaos-type", value)
     scrub_cache(server, injector)
     ok = recovered = failed = 0
+    outcomes: List[str] = []
     for key, value in source.items():
         got = client.get(key)
         if got == value:
             ok += 1
+            outcomes.append("ok")
             continue
         # a miss or a wrong value: re-fetch from the source of truth,
         # re-install, and serve again -- the cold-key path, by design
@@ -211,6 +279,7 @@ def _run_cache(
         got = client.get(key)
         if got == value:
             recovered += 1
+            outcomes.append("recovered")
             _observe_recovery(
                 recovery,
                 "cache",
@@ -220,12 +289,14 @@ def _run_cache(
             )
         else:
             failed += 1
+            outcomes.append("failed")
     return ScenarioResult(
         "cache",
         count,
         ok,
         recovered,
         failed,
+        outcomes=outcomes,
         notes={
             "corrupt_evictions": server.stats.corrupt_evictions,
             "compress_failures": server.stats.compress_failures,
@@ -257,10 +328,12 @@ def _run_kvstore(
         for table in level_tables:
             damaged_blocks += len(scrub_sstable(table, injector))
     ok = recovered = failed = 0
+    outcomes: List[str] = []
     for key, value in source.items():
         got = store.get(key)
         if got == value:
             ok += 1
+            outcomes.append("ok")
             continue
         # the key's block rotted in every level that held it: re-fetch
         # from the source of truth and write it back
@@ -269,6 +342,7 @@ def _run_kvstore(
         got = store.get(key)
         if got == value:
             recovered += 1
+            outcomes.append("recovered")
             _observe_recovery(
                 recovery,
                 "kvstore",
@@ -277,12 +351,14 @@ def _run_kvstore(
             )
         else:
             failed += 1
+            outcomes.append("failed")
     return ScenarioResult(
         "kvstore",
         count,
         ok,
         recovered,
         failed,
+        outcomes=outcomes,
         notes={
             "damaged_blocks": damaged_blocks,
             "quarantined_blocks": store.quarantined_blocks,
@@ -314,6 +390,7 @@ def _run_farmemory(
     for __ in range(4):
         pool.tick()
     ok = recovered = failed = 0
+    outcomes: List[str] = []
     for i in range(count):
         retries_before = pool.stats.decode_retries
         fault_before = pool.stats.fault_seconds_total
@@ -324,17 +401,21 @@ def _run_farmemory(
             pool.write(i, source[i])
             if pool.read(i) == source[i]:
                 recovered += 1
+                outcomes.append("recovered")
                 _observe_recovery(
                     recovery, "farmem", _refetch_seconds(PAGE_SIZE)
                 )
             else:
                 failed += 1
+                outcomes.append("failed")
             continue
         if got != source[i]:
             failed += 1
+            outcomes.append("failed")
         elif pool.stats.decode_retries > retries_before:
             # the transient-retry inside read() saved the fault
             recovered += 1
+            outcomes.append("recovered")
             _observe_recovery(
                 recovery,
                 "farmem",
@@ -342,12 +423,14 @@ def _run_farmemory(
             )
         else:
             ok += 1
+            outcomes.append("ok")
     return ScenarioResult(
         "farmem",
         count,
         ok,
         recovered,
         failed,
+        outcomes=outcomes,
         notes={
             "pages_compressed": pool.stats.pages_compressed,
             "pages_lost": pool.stats.pages_lost,
@@ -390,6 +473,7 @@ def _run_managed(
                 service.drop_dictionary("chaos-logs", versions[0])
     stats = service.stats("chaos-logs")
     ok = recovered = failed = 0
+    outcomes: List[str] = []
     for i, blob in enumerate(blobs):
         current["blob"] = i
         recoveries_before = stats.recoveries
@@ -397,22 +481,27 @@ def _run_managed(
             data = service.decompress(blob)
         except DictionaryRetiredError:
             failed += 1
+            outcomes.append("failed")
             continue
         if data != source[i]:
             failed += 1
+            outcomes.append("failed")
         elif stats.recoveries > recoveries_before:
             recovered += 1
+            outcomes.append("recovered")
             _observe_recovery(
                 recovery, "managed", _refetch_seconds(len(source[i]))
             )
         else:
             ok += 1
+            outcomes.append("ok")
     return ScenarioResult(
         "managed",
         count,
         ok,
         recovered,
         failed,
+        outcomes=outcomes,
         notes={
             "retrains": stats.retrains,
             "retired_blobs": stats.retired_blobs,
@@ -454,6 +543,7 @@ def _run_serving(
         breaker_cooldown_seconds=1e-4,
     )
     ok = recovered = failed = 0
+    outcomes: List[str] = []
     burst = 10
     submitted = 0
     while submitted < count:
@@ -476,12 +566,15 @@ def _run_serving(
                 clock.advance(served.service_seconds)
                 if served.degraded or served.raw_fallback:
                     recovered += 1
+                    outcomes.append("recovered")
                     _observe_recovery(
                         recovery, "serving", served.service_seconds
                     )
                 else:
                     ok += 1
+                    outcomes.append("ok")
     failed = count - ok - recovered
+    outcomes.extend(["failed"] * failed)
     stats = gateway.stats
     return ScenarioResult(
         "serving",
@@ -489,6 +582,7 @@ def _run_serving(
         ok,
         recovered,
         failed,
+        outcomes=outcomes,
         notes={
             "degraded": stats.degraded,
             "raw_fallbacks": stats.raw_fallbacks,
@@ -496,6 +590,97 @@ def _run_serving(
             "expired": stats.expired,
         },
     )
+
+
+# -- the alert timeline -------------------------------------------------------
+
+#: operations per timeline window
+CHAOS_WINDOW_OPS = 25
+#: per-window outcome counter: labels scenario, outcome
+CHAOS_OPS_METRIC = "chaos_ops_total"
+#: burn rules scaled to op-index windows (a chaos run is ~400 ops, so
+#: the long views stay meaningfully shorter than the run)
+CHAOS_RULES = (
+    BurnRule(PAGE, long_windows=4, short_windows=2, threshold=5.0),
+    BurnRule(WARN, long_windows=8, short_windows=2, threshold=1.5),
+)
+
+
+def chaos_slos() -> List[EventRateSLO]:
+    """The chaos plane's objectives over the outcome stream.
+
+    ``failure_rate`` is the hard objective (operations abandoned);
+    ``recovery_rate`` alerts when the resilience layer is doing heavy
+    lifting — the fleet survived, but only because retries, rebuilds,
+    and ladders kept saving it.
+    """
+    total = lambda reg: metric_total(reg, CHAOS_OPS_METRIC)  # noqa: E731
+    return [
+        EventRateSLO(
+            "failure_rate",
+            bad=lambda reg: metric_total(reg, CHAOS_OPS_METRIC, outcome="failed"),
+            total=total,
+            budget=0.02,
+            description="operations abandoned outright",
+        ),
+        EventRateSLO(
+            "recovery_rate",
+            bad=lambda reg: metric_total(
+                reg, CHAOS_OPS_METRIC, outcome="recovered"
+            ),
+            total=total,
+            budget=0.05,
+            description="operations saved only by the resilience layer",
+        ),
+    ]
+
+
+def build_chaos_timeline(
+    scenarios: List[ScenarioResult], window_ops: int = CHAOS_WINDOW_OPS
+) -> ChaosTimeline:
+    """Window the concatenated outcome streams and evaluate the SLOs."""
+    recorder = TimeSeriesRecorder(float(window_ops))
+    evaluator = SLOEvaluator(chaos_slos(), rules=CHAOS_RULES)
+    timeline = ChaosTimeline(window_ops=window_ops)
+    seen: List[WindowSnapshot] = []
+
+    def close(snapshots: List[WindowSnapshot]) -> None:
+        for snapshot in snapshots:
+            seen.append(snapshot)
+            edges = evaluator.on_window(seen, snapshot.end)
+            reg = snapshot.registry
+            timeline.windows.append(
+                ChaosWindow(
+                    index=snapshot.index,
+                    start_op=int(snapshot.start),
+                    end_op=int(snapshot.end),
+                    ok=int(metric_total(reg, CHAOS_OPS_METRIC, outcome="ok")),
+                    recovered=int(
+                        metric_total(reg, CHAOS_OPS_METRIC, outcome="recovered")
+                    ),
+                    failed=int(
+                        metric_total(reg, CHAOS_OPS_METRIC, outcome="failed")
+                    ),
+                    states=dict(evaluator.states()),
+                    transitions=tuple(edges),
+                )
+            )
+
+    op = 0
+    for scenario in scenarios:
+        for outcome in scenario.outcomes:
+            close(recorder.advance(float(op)))
+            recorder.registry().counter(CHAOS_OPS_METRIC).inc(
+                1, scenario=scenario.name, outcome=outcome
+            )
+            op += 1
+    close(recorder.advance(float(op)))
+    tail = recorder.flush()
+    if tail is not None:
+        close([tail])
+    evaluator.finish(seen[-1].end if seen else float(op))
+    timeline.final_states = evaluator.states()
+    return timeline
 
 
 # -- the runner ---------------------------------------------------------------
@@ -530,7 +715,10 @@ def run_chaos(plan: str = "standard", seed: int = 7, ops: float = 1.0) -> ChaosR
     breakdown = sorted(
         (site, kind, count) for (site, kind), count in injector.fired.items()
     )
-    return ChaosReport(fault_plan.name, seed, scenarios, recovery, breakdown)
+    timeline = build_chaos_timeline(scenarios)
+    return ChaosReport(
+        fault_plan.name, seed, scenarios, recovery, breakdown, timeline
+    )
 
 
 def format_scorecard(report: ChaosReport) -> str:
@@ -583,4 +771,25 @@ def format_scorecard(report: ChaosReport) -> str:
     if notes:
         lines.append("detail:")
         lines.extend(notes)
+    if report.timeline is not None and report.timeline.windows:
+        timeline = report.timeline
+        lines.append(
+            f"alert timeline ({timeline.window_ops}-op windows, "
+            f"{len(timeline.windows)} windows):"
+        )
+        if timeline.transitions:
+            for t in timeline.transitions:
+                lines.append(
+                    f"  ! op {t.at:g}  {t.slo}: {t.from_state} -> "
+                    f"{t.to_state} ({t.reason})"
+                )
+        else:
+            lines.append("  (no alerts fired)")
+        final = " ".join(
+            f"{name}={state}"
+            for name, state in sorted(timeline.final_states.items())
+        )
+        lines.append(
+            f"  final states: {final}; worst {timeline.worst_state()}"
+        )
     return "\n".join(lines)

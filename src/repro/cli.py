@@ -15,6 +15,12 @@ Commands:
   the deterministic survival scorecard.
 - ``serve-sim`` -- run the admission-controlled serving gateway through
   the discrete-event simulator and print the latency/goodput scorecard.
+- ``slo`` -- run the serving simulator with the rolling-window SLO plane
+  attached and print the window-by-window burn-rate/alert timeline
+  (table or replayable JSONL); ``--max-page-seconds`` turns it into a
+  CI gate.
+- ``bench-diff`` -- compare two benchmark-trajectory files and fail on
+  regressions beyond tolerance.
 """
 
 from __future__ import annotations
@@ -289,6 +295,77 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.serving import (
+        ServingSLOConfig,
+        format_timeline,
+        run_simulation,
+        timeline_jsonl,
+    )
+
+    config = ServingSLOConfig()
+    if args.shed_budget is not None:
+        config = replace(config, shed_budget=args.shed_budget)
+    if args.max_p99_ms is not None:
+        config = replace(config, latency_p99_seconds=args.max_p99_ms / 1e3)
+    report = run_simulation(
+        scenario=args.scenario,
+        seed=args.seed,
+        scale=args.scale,
+        degradation=False if args.no_degradation else None,
+        jobs=args.jobs,
+        window_seconds=args.window_seconds,
+        slo_config=config,
+    )
+    timeline = report.timeline
+    assert timeline is not None
+    if args.format == "jsonl":
+        text = timeline_jsonl(timeline)
+    else:
+        text = format_timeline(timeline)
+    if args.output and args.output != "-":
+        with open(args.output, "w") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"wrote {args.format} timeline to {args.output}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+    if args.max_page_seconds is not None:
+        page_seconds = timeline.total_page_seconds()
+        if page_seconds > args.max_page_seconds:
+            # Gate verdict goes to stderr so stdout stays a pure,
+            # diffable timeline for the determinism checks.
+            print(
+                f"FAIL: {page_seconds:.3f} page-seconds exceeds "
+                f"--max-page-seconds {args.max_page_seconds:.3f}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.trajectory import (
+        compare_trajectories,
+        format_diff,
+        has_regressions,
+        load_trajectory,
+    )
+
+    try:
+        baseline = load_trajectory(args.baseline)
+        current = load_trajectory(args.current)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"bench-diff: {error}", file=sys.stderr)
+        return 2
+    rows = compare_trajectories(
+        baseline, current, max_regression=args.max_regression
+    )
+    print(format_diff(rows))
+    return 1 if has_regressions(rows) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -388,6 +465,20 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--output", default=None,
                      help="write the snapshot to a file instead of stdout")
     obs.set_defaults(func=_cmd_obs)
+    obs_sub = obs.add_subparsers(dest="obs_command", required=False)
+    watch = obs_sub.add_parser(
+        "watch",
+        help="replay a recorded SLO timeline (JSONL) as an ANSI view",
+    )
+    watch.add_argument(
+        "input",
+        help="timeline JSONL from `repro slo --format jsonl` ('-' = stdin)",
+    )
+    watch.add_argument(
+        "--no-color", action="store_true",
+        help="plain text (no ANSI escapes)",
+    )
+    watch.set_defaults(func=_cmd_obs)
 
     chaos = sub.add_parser(
         "chaos", help="run the service stack under a fault plan"
@@ -446,6 +537,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 unless at least this many requests were served",
     )
     serve.set_defaults(func=_cmd_serve_sim)
+
+    slo = sub.add_parser(
+        "slo",
+        help="serving simulation with the rolling-window SLO timeline",
+    )
+    from repro.serving.simulate import DEFAULT_WINDOW_SECONDS
+
+    slo.add_argument(
+        "--scenario", default="overload", choices=sorted(SCENARIOS)
+    )
+    slo.add_argument("--seed", type=int, default=42)
+    slo.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor on the scenario duration (0.5 = quick smoke)",
+    )
+    slo.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the gateway executor (0 = all cores)",
+    )
+    slo.add_argument(
+        "--no-degradation", action="store_true",
+        help="disable the degradation ladder (serve rung 0 or shed)",
+    )
+    slo.add_argument(
+        "--window-seconds", type=float, default=DEFAULT_WINDOW_SECONDS,
+        help="rolling-window width in simulated seconds",
+    )
+    slo.add_argument(
+        "--shed-budget", type=float, default=None,
+        help="error budget for the shed-rate SLO (fraction of offered)",
+    )
+    slo.add_argument(
+        "--max-p99-ms", type=float, default=None,
+        help="latency-p99 SLO bound in milliseconds",
+    )
+    slo.add_argument(
+        "--format", default="table", choices=["table", "jsonl"],
+        help="jsonl is the replayable flight-recorder form",
+    )
+    slo.add_argument(
+        "--output", default=None,
+        help="write the timeline to a file instead of stdout",
+    )
+    slo.add_argument(
+        "--max-page-seconds", type=float, default=None,
+        help="exit 1 if total PAGE-state seconds exceed this (CI gate)",
+    )
+    slo.set_defaults(func=_cmd_slo)
+
+    bench_diff = sub.add_parser(
+        "bench-diff",
+        help="compare two trajectory files, fail on perf regression",
+    )
+    from repro.trajectory import DEFAULT_MAX_REGRESSION
+
+    bench_diff.add_argument("baseline", help="committed trajectory JSON")
+    bench_diff.add_argument("current", help="freshly generated trajectory")
+    bench_diff.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        help="default allowed relative regression (entries may override)",
+    )
+    bench_diff.set_defaults(func=_cmd_bench_diff)
     return parser
 
 

@@ -11,7 +11,12 @@ service substrate:
   per-request attributions.
 - :mod:`repro.obs.instrument` — the hook functions hot paths call.
 - :mod:`repro.obs.export` — Prometheus text, JSON-lines, and table views.
-- ``repro obs`` (CLI) — run a workload and emit a snapshot.
+- :mod:`repro.obs.timeseries` — clock-driven rolling windows of
+  mergeable registry snapshots (the time axis).
+- :mod:`repro.obs.slo` — declarative SLOs with multi-window
+  multi-burn-rate alerting over those windows.
+- ``repro obs`` (CLI) — run a workload and emit a snapshot; ``repro obs
+  watch`` replays a recorded timeline.
 
 Telemetry is **off by default** and zero-cost when disabled: instrumented
 call sites check one module-level flag (:data:`repro.obs.state.OBS_STATE`)
@@ -25,10 +30,32 @@ and skip everything else. Typical use::
 """
 
 from repro.obs.export import (
+    json_line,
     registry_snapshot,
+    round_floats,
     to_jsonl,
     to_prometheus,
     to_table,
+)
+from repro.obs.slo import (
+    DEFAULT_RULES,
+    OK,
+    PAGE,
+    WARN,
+    AlertStateMachine,
+    AlertTransition,
+    BoundSLO,
+    BurnRule,
+    EventRateSLO,
+    SLO,
+    SLOEvaluator,
+    metric_total,
+)
+from repro.obs.timeseries import (
+    TimeSeriesRecorder,
+    WallClock,
+    WindowSnapshot,
+    merge_windows,
 )
 from repro.obs.metrics import (
     Counter,
@@ -55,22 +82,40 @@ def reset() -> None:
 
 
 __all__ = [
+    "AlertStateMachine",
+    "AlertTransition",
+    "BoundSLO",
+    "BurnRule",
     "Counter",
+    "DEFAULT_RULES",
+    "EventRateSLO",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "OBS_STATE",
+    "OK",
+    "PAGE",
+    "SLO",
+    "SLOEvaluator",
     "SpanRecord",
+    "TimeSeriesRecorder",
+    "WARN",
+    "WallClock",
+    "WindowSnapshot",
     "current_span",
     "disable",
     "enable",
     "flame_counts",
     "get_registry",
     "is_enabled",
+    "json_line",
+    "merge_windows",
+    "metric_total",
     "recent_roots",
     "registry_snapshot",
     "reset",
     "reset_spans",
+    "round_floats",
     "span",
     "to_jsonl",
     "to_prometheus",

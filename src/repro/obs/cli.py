@@ -10,6 +10,7 @@ reports (Figs. 6, 7, 13).
 from __future__ import annotations
 
 import random
+import sys
 from typing import Callable, Dict, List
 
 from repro import obs
@@ -102,8 +103,27 @@ def render(fmt: str) -> str:
     return obs.to_table(registry)
 
 
+def run_watch_command(args) -> int:
+    """``repro obs watch``: replay a recorded timeline JSONL."""
+    from repro.obs.watch import WatchError, render_watch, watch_file
+
+    color = not args.no_color
+    try:
+        if args.input == "-":
+            text = render_watch(sys.stdin, color=color)
+        else:
+            text = watch_file(args.input, color=color)
+    except (OSError, WatchError) as error:
+        print(f"obs watch: {error}", file=sys.stderr)
+        return 1
+    print(text)
+    return 0
+
+
 def run_obs_command(args) -> int:
     """Entry point wired into ``repro.cli``."""
+    if getattr(args, "obs_command", None) == "watch":
+        return run_watch_command(args)
     names: List[str] = (
         list(_RUNNERS) if args.workload == "all" else [args.workload]
     )

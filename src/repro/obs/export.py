@@ -8,6 +8,7 @@ recorder, and the table is for eyeballs (``repro obs --format table``).
 from __future__ import annotations
 
 import json
+import math
 from typing import Dict, List
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
@@ -16,9 +17,45 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 #: latency-distribution figures
 QUANTILES = (50, 90, 99)
 
+#: decimal places kept by the deterministic JSON form; nanosecond-scale
+#: resolution, far below anything the metrics can resolve, so rounding
+#: never loses signal but does make float spelling stable across runs
+JSON_PRECISION = 9
+
+
+def round_floats(value, precision: int = JSON_PRECISION):
+    """Recursively round floats to ``precision`` decimal places.
+
+    Dict keys are untouched; non-finite floats pass through. This plus
+    ``sort_keys`` is the whole determinism contract: two runs that
+    measured the same thing spell it identically, so their exports diff
+    clean.
+    """
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            return value
+        return round(value, precision)
+    if isinstance(value, dict):
+        return {k: round_floats(v, precision) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [round_floats(v, precision) for v in value]
+    return value
+
+
+def json_line(entry, precision: int = JSON_PRECISION) -> str:
+    """One deterministic JSON line: sorted keys, compact separators,
+    fixed-precision floats."""
+    return json.dumps(
+        round_floats(entry, precision), sort_keys=True, separators=(",", ":")
+    )
+
 
 def _labels_dict(key) -> Dict[str, str]:
     return dict(key)
+
+
+def _entry_sort_key(entry: dict):
+    return (entry["metric"], sorted(entry["labels"].items()))
 
 
 def registry_snapshot(registry: MetricsRegistry) -> List[dict]:
@@ -50,15 +87,18 @@ def registry_snapshot(registry: MetricsRegistry) -> List[dict]:
                 for q in QUANTILES:
                     entry[f"p{q}"] = metric.percentile(q, **labels)
                 out.append(entry)
+    out.sort(key=_entry_sort_key)
     return out
 
 
 def to_jsonl(registry: MetricsRegistry) -> str:
-    """One JSON object per series, newline-delimited."""
-    lines = [
-        json.dumps(entry, sort_keys=True, separators=(",", ":"))
-        for entry in registry_snapshot(registry)
-    ]
+    """One JSON object per series, newline-delimited.
+
+    Deterministic by construction: series sorted by (metric, labels),
+    keys sorted within each object, floats at fixed precision — so two
+    runs that recorded the same values produce byte-identical output.
+    """
+    lines = [json_line(entry) for entry in registry_snapshot(registry)]
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -1,0 +1,325 @@
+"""Declarative SLOs with multi-window, multi-burn-rate alerting.
+
+An SLO here is a *query over a span of windows* (from
+:mod:`repro.obs.timeseries`) reduced to one number, the **burn rate**:
+how fast the objective's error budget is being consumed, normalized so
+``1.0`` means "exactly at the objective". Two flavors cover everything
+the serving and chaos planes need:
+
+- :class:`EventRateSLO` — "at most ``budget`` of events may be bad"
+  (shed rate, failure rate). Burn = observed bad fraction / budget.
+- :class:`BoundSLO` — "this signal must stay below/above a bound"
+  (p99 latency, goodput, compression-ratio-lost). Burn = signal / bound
+  for upper bounds, bound / signal for lower bounds.
+
+Alerting follows the SRE multi-window multi-burn-rate recipe: a rule
+fires only when the burn rate exceeds its threshold over *both* a long
+window (the condition is significant) and a short window (it is still
+happening), so a brief spike cannot page and a slow leak cannot hide.
+Fast rules carry high thresholds and severity PAGE; slow rules carry low
+thresholds and severity WARN. Each SLO owns an
+:class:`AlertStateMachine` stepping OK → WARN → PAGE, with hysteresis on
+the way down (``clear_after`` consecutive quiet evaluations per step) so
+alert state does not flap at the threshold.
+
+Everything is a pure function of the recorded windows, so a seeded
+simulation renders a byte-identical alert timeline — the property
+``repro slo`` certifies in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import WindowSnapshot, merge_windows
+
+#: alert states, in increasing severity
+OK = "ok"
+WARN = "warn"
+PAGE = "page"
+_SEVERITY_RANK = {OK: 0, WARN: 1, PAGE: 2}
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """One (long window, short window, threshold) → severity rule."""
+
+    severity: str
+    #: windows in the long (significance) view
+    long_windows: int
+    #: windows in the short (recency) view; must be <= long_windows
+    short_windows: int
+    #: burn rate both views must reach for the rule to fire
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.severity not in (WARN, PAGE):
+            raise ValueError(f"severity must be warn or page, got {self.severity!r}")
+        if self.short_windows < 1 or self.long_windows < self.short_windows:
+            raise ValueError("need 1 <= short_windows <= long_windows")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+
+
+#: the SRE fast/slow pairing, scaled to simulation-length runs: a fast
+#: burn (budget gone in ~1/6 of the rules' long view) pages, a slow
+#: sustained burn warns
+DEFAULT_RULES: Tuple[BurnRule, ...] = (
+    BurnRule(PAGE, long_windows=4, short_windows=2, threshold=6.0),
+    BurnRule(WARN, long_windows=12, short_windows=3, threshold=1.5),
+)
+
+
+def metric_total(registry: MetricsRegistry, name: str, **match) -> float:
+    """Sum a metric's samples whose labels match every ``match`` pair —
+    the query primitive SLO signal callables are built from."""
+    metric = registry.get(name)
+    if metric is None:
+        return 0.0
+    wanted = {k: str(v) for k, v in match.items()}
+    total = 0.0
+    for key, value in metric.samples():
+        labels = dict(key)
+        if all(labels.get(k) == v for k, v in wanted.items()):
+            total += value
+    return total
+
+
+class SLO:
+    """Base: a named objective reducible to a burn rate over windows."""
+
+    def __init__(self, name: str, description: str = "") -> None:
+        self.name = name
+        self.description = description
+
+    def burn_rate(self, windows: Sequence[WindowSnapshot]) -> Optional[float]:
+        """Burn over ``windows`` (1.0 = at the objective); None = no signal."""
+        raise NotImplementedError
+
+
+class EventRateSLO(SLO):
+    """At most ``budget`` (fraction) of events may be bad."""
+
+    def __init__(
+        self,
+        name: str,
+        bad: Callable[[MetricsRegistry], float],
+        total: Callable[[MetricsRegistry], float],
+        budget: float,
+        description: str = "",
+    ) -> None:
+        super().__init__(name, description)
+        if not 0 < budget < 1:
+            raise ValueError("budget must be a fraction in (0, 1)")
+        self.bad = bad
+        self.total = total
+        self.budget = budget
+
+    def burn_rate(self, windows: Sequence[WindowSnapshot]) -> Optional[float]:
+        merged = merge_windows(windows)
+        total = self.total(merged)
+        if total <= 0:
+            return None
+        return (self.bad(merged) / total) / self.budget
+
+
+class BoundSLO(SLO):
+    """A scalar signal must stay under (or over) a bound."""
+
+    def __init__(
+        self,
+        name: str,
+        value: Callable[[MetricsRegistry], Optional[float]],
+        bound: float,
+        mode: str = "upper",
+        description: str = "",
+    ) -> None:
+        super().__init__(name, description)
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        if mode not in ("upper", "lower"):
+            raise ValueError("mode must be 'upper' or 'lower'")
+        self.value = value
+        self.bound = bound
+        self.mode = mode
+
+    def burn_rate(self, windows: Sequence[WindowSnapshot]) -> Optional[float]:
+        signal = self.value(merge_windows(windows))
+        if signal is None:
+            return None
+        if self.mode == "upper":
+            return signal / self.bound
+        if signal <= 0:
+            return float("inf")
+        return self.bound / signal
+
+
+@dataclass(frozen=True)
+class AlertTransition:
+    """One state-machine edge, stamped with the evaluation time."""
+
+    at: float
+    slo: str
+    from_state: str
+    to_state: str
+    reason: str
+
+
+class AlertStateMachine:
+    """OK → WARN → PAGE with step-down hysteresis.
+
+    Escalation is immediate (a PAGE rule firing from OK jumps straight
+    to PAGE). De-escalation steps down one severity only after
+    ``clear_after`` consecutive evaluations in which nothing at or above
+    the current state fired, so one quiet window cannot clear a page.
+    """
+
+    def __init__(self, slo_name: str, clear_after: int = 2) -> None:
+        if clear_after < 1:
+            raise ValueError("clear_after must be at least 1")
+        self.slo_name = slo_name
+        self.clear_after = clear_after
+        self.state = OK
+        self._quiet = 0
+        #: cumulative seconds spent in each state (by evaluation spans)
+        self.seconds_in: Dict[str, float] = {OK: 0.0, WARN: 0.0, PAGE: 0.0}
+        self._entered_at: Optional[float] = None
+
+    def _account(self, at: float) -> None:
+        if self._entered_at is not None:
+            self.seconds_in[self.state] += max(0.0, at - self._entered_at)
+        self._entered_at = at
+
+    def evaluate(
+        self, at: float, fired: Optional[str], reason: str = ""
+    ) -> Optional[AlertTransition]:
+        """Feed one evaluation; returns the transition, if any.
+
+        ``fired`` is the highest severity whose rule fired (None = all
+        quiet). Time spent in the outgoing state is accounted before the
+        edge, so ``seconds_in`` always sums to the evaluated span.
+        """
+        self._account(at)
+        current = _SEVERITY_RANK[self.state]
+        incoming = _SEVERITY_RANK.get(fired, 0) if fired else 0
+        if incoming > current:
+            previous = self.state
+            self.state = fired  # escalate immediately
+            self._quiet = 0
+            return AlertTransition(at, self.slo_name, previous, self.state, reason)
+        if incoming == current and current > 0:
+            self._quiet = 0  # still burning at this severity
+            return None
+        if current == 0:
+            return None
+        self._quiet += 1
+        if self._quiet < self.clear_after:
+            return None
+        previous = self.state
+        self.state = WARN if self.state == PAGE else OK
+        self._quiet = 0
+        return AlertTransition(
+            at,
+            self.slo_name,
+            previous,
+            self.state,
+            reason or f"quiet for {self.clear_after} evaluations",
+        )
+
+    def finish(self, at: float) -> None:
+        """Account state time up to ``at`` (end of run)."""
+        self._account(at)
+
+
+class SLOEvaluator:
+    """Evaluate a set of SLOs window-by-window, accumulating the timeline."""
+
+    def __init__(
+        self,
+        slos: Sequence[SLO],
+        rules: Sequence[BurnRule] = DEFAULT_RULES,
+        clear_after: int = 2,
+    ) -> None:
+        names = [s.name for s in slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names: {names}")
+        self.slos = list(slos)
+        #: rules evaluated PAGE-first so ``fired`` is the highest severity
+        self.rules = sorted(
+            rules, key=lambda r: -_SEVERITY_RANK[r.severity]
+        )
+        self.machines: Dict[str, AlertStateMachine] = {
+            s.name: AlertStateMachine(s.name, clear_after=clear_after)
+            for s in slos
+        }
+        self.transitions: List[AlertTransition] = []
+        #: last burn rate per (slo, rule index), for reporting
+        self.last_burns: Dict[str, Dict[str, Optional[float]]] = {}
+
+    def _fired(
+        self, slo: SLO, windows: Sequence[WindowSnapshot]
+    ) -> Tuple[Optional[str], str, Dict[str, Optional[float]]]:
+        burns: Dict[str, Optional[float]] = {}
+        for rule in self.rules:
+            long_burn = slo.burn_rate(windows[-rule.long_windows:])
+            short_burn = slo.burn_rate(windows[-rule.short_windows:])
+            key = f"{rule.severity}:{rule.long_windows}w/{rule.short_windows}w"
+            burns[key] = long_burn
+            if (
+                long_burn is not None
+                and short_burn is not None
+                and long_burn >= rule.threshold
+                and short_burn >= rule.threshold
+            ):
+                reason = (
+                    f"burn {long_burn:.2f} over {rule.long_windows}w and "
+                    f"{short_burn:.2f} over {rule.short_windows}w "
+                    f">= {rule.threshold:g}"
+                )
+                return rule.severity, reason, burns
+        return None, "", burns
+
+    def on_window(
+        self, windows: Sequence[WindowSnapshot], at: float
+    ) -> List[AlertTransition]:
+        """Evaluate after a window closes. ``windows`` is the series so
+        far (oldest first); ``at`` is the closed window's end time."""
+        if not windows:
+            return []
+        edges: List[AlertTransition] = []
+        for slo in self.slos:
+            fired, reason, burns = self._fired(slo, windows)
+            self.last_burns[slo.name] = burns
+            edge = self.machines[slo.name].evaluate(at, fired, reason)
+            if edge is not None:
+                edges.append(edge)
+        self.transitions.extend(edges)
+        return edges
+
+    def finish(self, at: float) -> None:
+        for machine in self.machines.values():
+            machine.finish(at)
+
+    def states(self) -> Dict[str, str]:
+        return {name: m.state for name, m in self.machines.items()}
+
+    def seconds_in(self, state: str) -> Dict[str, float]:
+        return {
+            name: m.seconds_in.get(state, 0.0)
+            for name, m in self.machines.items()
+        }
+
+    def total_page_seconds(self) -> float:
+        return sum(self.seconds_in(PAGE).values())
+
+    def worst_state(self) -> str:
+        rank = max(
+            (_SEVERITY_RANK[m.state] for m in self.machines.values()),
+            default=0,
+        )
+        for state, value in _SEVERITY_RANK.items():
+            if value == rank:
+                return state
+        return OK

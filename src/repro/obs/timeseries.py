@@ -1,0 +1,200 @@
+"""Clock-driven rolling windows over the metric primitives.
+
+The paper's characterization exists because Google's fleet profiler is
+*continuous*: compression behavior is a curve over time, not a point.
+This module adds that time axis to :mod:`repro.obs`: a
+:class:`TimeSeriesRecorder` slices recording into fixed-width windows,
+each window a full :class:`~repro.obs.metrics.MetricsRegistry` of its
+own, kept in a bounded ring. Because every metric type merges
+associatively, any span of windows folds back into one registry whose
+histograms are *exactly* what a one-shot recording over the same samples
+would have produced (bucket counts, count/sum, and min/max all survive
+the window boundary) — the property the SLO layer's burn-rate math and
+the window-merge tests rely on.
+
+Time is whatever the caller says it is:
+
+- simulation drives ``advance(clock.now())`` from a
+  :class:`~repro.resilience.clock.SimClock`, so window edges — and
+  everything computed from them — are deterministic per seed;
+- live processes drive it from :class:`WallClock` (``time.monotonic``);
+- the chaos runner drives it with *operation index* as the clock, which
+  works because the recorder never interprets the unit.
+
+Windows close only when time reaches their end: ``advance`` returns the
+newly closed snapshots so callers (the SLO evaluator, a JSONL writer)
+can react per tick, and ``flush`` force-closes the in-progress window at
+end of run.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+#: default ring capacity: enough for hours of 1 s windows or any
+#: simulated run this repo produces, while still bounding memory
+DEFAULT_CAPACITY = 512
+
+
+class WallClock:
+    """``time.monotonic`` behind the same ``now()`` face as SimClock."""
+
+    __slots__ = ()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class WindowSnapshot:
+    """One closed window: ``[start, end)`` plus everything recorded in it."""
+
+    __slots__ = ("index", "start", "end", "registry")
+
+    def __init__(
+        self, index: int, start: float, end: float, registry: MetricsRegistry
+    ) -> None:
+        self.index = index
+        self.start = start
+        self.end = end
+        self.registry = registry
+
+    @property
+    def width(self) -> float:
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowSnapshot(#{self.index} "
+            f"[{self.start:.3f}, {self.end:.3f}) "
+            f"{len(self.registry)} families)"
+        )
+
+
+class TimeSeriesRecorder:
+    """Fixed-width window ring over mergeable metric registries.
+
+    Callers record into :meth:`registry` (the in-progress window) and
+    drive time with :meth:`advance`; the recorder owns nothing about
+    *what* is recorded. A window that time has skipped entirely still
+    closes (empty), so the series has no gaps and window ``index`` times
+    ``width`` is always the window's start offset.
+    """
+
+    def __init__(
+        self,
+        width_seconds: float,
+        capacity: int = DEFAULT_CAPACITY,
+        start: float = 0.0,
+        clock: Optional[Union[object, Callable[[], float]]] = None,
+    ) -> None:
+        if width_seconds <= 0:
+            raise ValueError("width_seconds must be positive")
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.width = float(width_seconds)
+        self.capacity = capacity
+        self._clock = clock
+        self._start = float(start)
+        self._index = 0
+        self._current = MetricsRegistry()
+        self._ring: Deque[WindowSnapshot] = deque(maxlen=capacity)
+        #: windows evicted from the ring (ring full), for honest reporting
+        self.evicted = 0
+
+    # -- recording -----------------------------------------------------------
+
+    def registry(self) -> MetricsRegistry:
+        """The in-progress window's registry; record into this."""
+        return self._current
+
+    @property
+    def current_start(self) -> float:
+        return self._start
+
+    @property
+    def current_end(self) -> float:
+        return self._start + self.width
+
+    @property
+    def current_index(self) -> int:
+        return self._index
+
+    # -- time ----------------------------------------------------------------
+
+    def _clock_now(self) -> float:
+        if self._clock is None:
+            raise ValueError("recorder has no clock; call advance(now)")
+        if callable(self._clock):
+            return float(self._clock())
+        return float(self._clock.now())
+
+    def _close_current(self, end: float) -> WindowSnapshot:
+        snapshot = WindowSnapshot(self._index, self._start, end, self._current)
+        if len(self._ring) == self.capacity:
+            self.evicted += 1
+        self._ring.append(snapshot)
+        self._index += 1
+        self._current = MetricsRegistry()
+        return snapshot
+
+    def advance(self, now: float) -> List[WindowSnapshot]:
+        """Close every window whose end is at or before ``now``.
+
+        Returns the newly closed snapshots, oldest first (empty list when
+        ``now`` is still inside the current window). Time never moves
+        backwards; a stale ``now`` is a no-op, matching SimClock's
+        monotonic contract.
+        """
+        closed: List[WindowSnapshot] = []
+        while now >= self._start + self.width:
+            closed.append(self._close_current(self._start + self.width))
+            self._start += self.width
+        return closed
+
+    def tick(self) -> List[WindowSnapshot]:
+        """``advance`` to the bound clock's reading (live/driver use)."""
+        return self.advance(self._clock_now())
+
+    def flush(self) -> Optional[WindowSnapshot]:
+        """Force-close the in-progress window (end of run).
+
+        The closed window keeps its nominal ``[start, start + width)``
+        bounds so the series stays fixed-width; an untouched (empty)
+        current window is not emitted. Returns the snapshot, if any.
+        """
+        if not len(self._current):
+            return None
+        snapshot = self._close_current(self._start + self.width)
+        self._start += self.width
+        return snapshot
+
+    # -- queries -------------------------------------------------------------
+
+    def windows(self, last: Optional[int] = None) -> List[WindowSnapshot]:
+        """Closed windows, oldest first; ``last`` limits to the newest N."""
+        if last is None:
+            return list(self._ring)
+        if last < 0:
+            raise ValueError("last must be non-negative")
+        return list(self._ring)[max(0, len(self._ring) - last):]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def merged(self, last: Optional[int] = None) -> MetricsRegistry:
+        """Fold the newest ``last`` windows (all, when None) into one
+        registry — the rolling-window read the SLO layer evaluates."""
+        return merge_windows(self.windows(last))
+
+
+def merge_windows(windows: Sequence[WindowSnapshot]) -> MetricsRegistry:
+    """Merge window snapshots into one registry; associative, lossless
+    for counters and histograms (gauges sum, the multi-shard reading)."""
+    merged = MetricsRegistry()
+    for window in windows:
+        merged.merge(window.registry)
+    return merged

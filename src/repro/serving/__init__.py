@@ -39,6 +39,14 @@ from repro.serving.simulate import (
     format_scorecard,
     run_simulation,
 )
+from repro.serving.slos import (
+    ServingSLOConfig,
+    ServingTimeline,
+    TimelineWindow,
+    format_timeline,
+    serving_slos,
+    timeline_jsonl,
+)
 from repro.serving.workload import (
     TenantSpec,
     WorkloadGenerator,
@@ -62,13 +70,19 @@ __all__ = [
     "ServedRequest",
     "ServingReport",
     "ServingRequest",
+    "ServingSLOConfig",
     "ServingScenario",
+    "ServingTimeline",
     "TenantSpec",
+    "TimelineWindow",
     "TokenBucket",
     "WorkloadGenerator",
     "build_ladder",
     "default_thresholds",
     "format_scorecard",
+    "format_timeline",
     "run_simulation",
+    "serving_slos",
     "tenants_from_fleet",
+    "timeline_jsonl",
 ]

@@ -31,6 +31,7 @@ from repro.obs.instrument import (
     record_serving_served,
     record_serving_verdict,
 )
+from repro.obs.timeseries import TimeSeriesRecorder
 from repro.parallel.executors import SerialExecutor
 from repro.perfmodel import DEFAULT_MACHINE, MachineModel
 from repro.resilience.breaker import CircuitBreaker
@@ -43,6 +44,7 @@ from repro.serving.admission import (
 )
 from repro.serving.degrade import DegradationLadder
 from repro.serving.queue import FairQueue, ServingRequest
+from repro.serving.slos import record_window_served, record_window_verdict
 
 #: modeled memcpy bandwidth of the raw-passthrough path (bytes/second)
 RAW_COPY_BANDWIDTH = 8e9
@@ -127,6 +129,7 @@ class CompressionGateway:
         service_scale: float = 1.0,
         breaker_failure_threshold: int = 3,
         breaker_cooldown_seconds: float = 0.05,
+        recorder: Optional[TimeSeriesRecorder] = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
@@ -147,6 +150,10 @@ class CompressionGateway:
         #: throughput is 1/scale of the calibrated bare-metal machine
         #: model (co-located tenants, frequency caps, cold caches)
         self.service_scale = service_scale
+        #: optional time-series recorder; when set, verdicts and serves
+        #: land in its current window (the driver owns advancing time).
+        #: One ``is not None`` branch per event when absent.
+        self.recorder = recorder
         self.stats = GatewayStats()
         #: custom codec factories (fault injection) force in-process calls
         self._custom_codecs = codec_factory is not None
@@ -196,6 +203,10 @@ class CompressionGateway:
         if OBS_STATE.enabled:
             record_serving_verdict(request.tenant, verdict.decision)
             record_serving_queue_depth(self.queue.depth())
+        if self.recorder is not None:
+            record_window_verdict(
+                self.recorder.registry(), request.tenant, verdict.decision
+            )
         return verdict
 
     # -- egress -------------------------------------------------------------
@@ -216,6 +227,10 @@ class CompressionGateway:
                 self.stats.expired += 1
                 if OBS_STATE.enabled:
                     record_serving_verdict(dropped.tenant, "expired")
+                if self.recorder is not None:
+                    record_window_verdict(
+                        self.recorder.registry(), dropped.tenant, "expired"
+                    )
             if request is None:
                 break
             rung_index = (
@@ -309,6 +324,16 @@ class CompressionGateway:
                     service,
                     degraded=rung_index > 0,
                     raw_fallback=raw,
+                )
+            if self.recorder is not None:
+                record_window_served(
+                    self.recorder.registry(),
+                    request.tenant,
+                    rung_label,
+                    degraded=rung_index > 0,
+                    raw_fallback=raw,
+                    bytes_in=request.size,
+                    bytes_out=bytes_out,
                 )
         return served
 

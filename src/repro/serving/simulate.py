@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import Histogram
+from repro.obs.slo import PAGE, WARN, SLOEvaluator
+from repro.obs.timeseries import TimeSeriesRecorder, WindowSnapshot
 from repro.parallel.executors import make_executor
 from repro.resilience.clock import SimClock
 from repro.serving.admission import (
@@ -39,6 +41,13 @@ from repro.serving.admission import (
 )
 from repro.serving.degrade import DegradationLadder, build_ladder
 from repro.serving.gateway import CompressionGateway, ServedRequest
+from repro.serving.slos import (
+    ServingSLOConfig,
+    ServingTimeline,
+    build_window_row,
+    record_window_completion,
+    serving_slos,
+)
 from repro.serving.workload import TenantSpec, WorkloadGenerator, tenants_from_fleet
 
 #: ladder candidate grid: the levels production fleets actually run
@@ -154,6 +163,8 @@ class ServingReport:
             "serving_wait_seconds", "queue wait before dispatch"
         )
     )
+    #: the window-by-window SLO record (None when recording is disabled)
+    timeline: Optional[ServingTimeline] = None
 
     @property
     def goodput_bytes_per_second(self) -> float:
@@ -216,6 +227,10 @@ def build_scenario_ladder(requests: Sequence) -> DegradationLadder:
     )
 
 
+#: default rolling-window width for the SLO timeline, seconds
+DEFAULT_WINDOW_SECONDS = 0.25
+
+
 def run_simulation(
     scenario="overload",
     seed: int = 7,
@@ -223,6 +238,9 @@ def run_simulation(
     degradation: Optional[bool] = None,
     jobs: int = 1,
     tenants: Optional[Sequence[TenantSpec]] = None,
+    window_seconds: float = DEFAULT_WINDOW_SECONDS,
+    slo_config: Optional[ServingSLOConfig] = None,
+    with_timeline: bool = True,
 ) -> ServingReport:
     """Run one scenario end to end; returns the full report.
 
@@ -231,10 +249,19 @@ def run_simulation(
     ladder on/off (None = on); ``jobs`` sizes the gateway's executor —
     output is byte-identical across job counts because compression output
     and modeled time are functions of the payload alone.
+
+    With ``with_timeline`` (the default) the run also records
+    fixed-width metric windows, evaluates the serving SLOs after each
+    window closes, and attaches the resulting
+    :class:`~repro.serving.slos.ServingTimeline` to the report. The
+    timeline is a pure function of the simulated events, so it inherits
+    the scorecard's byte-identical-per-seed property.
     """
     sc = _resolve_scenario(scenario)
     if scale <= 0:
         raise ValueError("scale must be positive")
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
     degradation_enabled = True if degradation is None else degradation
     workload = WorkloadGenerator(
         tenants=tenants
@@ -258,6 +285,9 @@ def run_simulation(
         ),
     )
     executor = make_executor(jobs)
+    recorder = (
+        TimeSeriesRecorder(window_seconds) if with_timeline else None
+    )
     gateway = CompressionGateway(
         ladder,
         capacity=sc.capacity,
@@ -267,6 +297,7 @@ def run_simulation(
         executor=executor,
         degradation_enabled=degradation_enabled,
         service_scale=sc.service_scale,
+        recorder=recorder,
     )
     report = ServingReport(
         scenario=sc.name,
@@ -277,6 +308,31 @@ def run_simulation(
         rung0_ratio=ladder.rungs[0].ratio,
         arrivals=len(requests),
     )
+
+    # -- the SLO timeline: evaluate after every closed window ----------------
+    config = slo_config if slo_config is not None else ServingSLOConfig()
+    evaluator: Optional[SLOEvaluator] = None
+    timeline: Optional[ServingTimeline] = None
+    seen: List[WindowSnapshot] = []
+    if recorder is not None:
+        evaluator = SLOEvaluator(serving_slos(config, report.rung0_ratio))
+        timeline = ServingTimeline(
+            scenario=sc.name,
+            seed=seed,
+            scale=scale,
+            window_seconds=window_seconds,
+            config=config,
+        )
+
+    def close_windows(snapshots: Sequence[WindowSnapshot]) -> None:
+        for snapshot in snapshots:
+            seen.append(snapshot)
+            edges = evaluator.on_window(seen, snapshot.end)
+            timeline.windows.append(
+                build_window_row(
+                    snapshot, evaluator, report.rung0_ratio, edges
+                )
+            )
 
     # -- the event loop: (time, priority, seq, kind, payload) ----------------
     # completions (priority 0) land before same-instant arrivals so a
@@ -305,6 +361,8 @@ def run_simulation(
         at, __, __, kind, payload = heapq.heappop(events)
         if at > clock.now():
             clock.advance(at - clock.now())
+        if recorder is not None:
+            close_windows(recorder.advance(at))
         last_event_at = max(last_event_at, at)
         if kind == "arrival":
             gateway.submit(payload)
@@ -312,17 +370,38 @@ def run_simulation(
             served: ServedRequest = payload
             busy -= 1
             latency = at - served.request.arrival
+            on_time = at <= served.request.deadline
             controller.limiter.on_complete(latency)
             report.latency.observe(latency, source="all")
             report.latency.observe(latency, source=served.request.tenant)
             report.wait.observe(served.wait_seconds, source="all")
-            if at <= served.request.deadline:
+            if on_time:
                 report.on_time += 1
                 report.bytes_on_time += served.request.size
             else:
                 report.tardy += 1
+            if recorder is not None:
+                record_window_completion(
+                    recorder.registry(),
+                    served.request.tenant,
+                    latency,
+                    served.wait_seconds,
+                    on_time=on_time,
+                    bytes_in=served.request.size,
+                )
         dispatch(clock.now())
     executor.close()
+
+    if recorder is not None:
+        tail = recorder.flush()
+        if tail is not None:
+            close_windows([tail])
+        end_at = seen[-1].end if seen else last_event_at
+        evaluator.finish(end_at)
+        timeline.final_states = evaluator.states()
+        timeline.page_seconds = evaluator.seconds_in(PAGE)
+        timeline.warn_seconds = evaluator.seconds_in(WARN)
+        report.timeline = timeline
 
     stats = gateway.stats
     report.admitted = stats.admitted

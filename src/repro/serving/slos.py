@@ -1,0 +1,531 @@
+"""Serving-plane SLOs and the window-by-window alert timeline.
+
+This is where the time-series layer (:mod:`repro.obs.timeseries`) and the
+SLO layer (:mod:`repro.obs.slo`) meet the serving plane: the gateway and
+the simulator record per-window metrics here, and the four serving SLOs
+— shed rate, p99 latency, goodput, compression-ratio-lost — are defined
+over those windows. The bicriteria trade the degradation ladder makes
+(latency bought with ratio) becomes two SLOs evolving side by side
+instead of two numbers at the end of a run.
+
+One deliberate definition: the **shed-rate SLO counts deadline
+expirations as sheds**. The front door refusing a request (throttle,
+shed) and the queue dropping it at the head because its deadline passed
+are the same event from the client's perspective — work offered and not
+served — and the queue module itself documents expiry as deadline-based
+shedding. Under overload the ladder engages first (pressure-driven
+degradation at dequeue), and only when degradation cannot buy enough
+latency do deadlines start expiring, so the alert timeline shows
+degrade-before-page in exactly that order.
+
+Everything here is a pure function of the recorded windows; a seeded
+simulation renders a byte-identical timeline (``repro slo`` certifies
+this in CI by diffing two runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.export import json_line
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.slo import (
+    OK,
+    PAGE,
+    WARN,
+    AlertTransition,
+    BoundSLO,
+    EventRateSLO,
+    SLO,
+    SLOEvaluator,
+    metric_total,
+)
+from repro.obs.timeseries import WindowSnapshot, merge_windows
+
+# -- per-window metric schema (recorded by gateway + simulator) --------------
+
+#: admission verdicts by tenant: verdict in admit/throttle/shed/expired
+WINDOW_VERDICTS = "serving_window_verdicts_total"
+#: served requests by tenant and rung label
+WINDOW_SERVED = "serving_window_served_total"
+#: degraded (rung > 0) serves by rung label
+WINDOW_DEGRADED = "serving_window_degraded_total"
+#: raw-passthrough fallbacks by tenant
+WINDOW_RAW = "serving_window_raw_fallbacks_total"
+#: byte volumes by kind: in_served/out/in_degraded/out_degraded/on_time
+WINDOW_BYTES = "serving_window_bytes_total"
+#: end-to-end latency by tenant (plus the "_all" aggregate)
+WINDOW_LATENCY = "serving_window_latency_seconds"
+#: queue wait, "_all" aggregate only
+WINDOW_WAIT = "serving_window_wait_seconds"
+#: completion outcomes: result in on_time/tardy
+WINDOW_OUTCOMES = "serving_window_outcomes_total"
+#: the tenant label value for the cross-tenant aggregate series
+ALL_TENANTS = "_all"
+
+
+def record_window_verdict(
+    registry: MetricsRegistry, tenant: str, verdict: str
+) -> None:
+    registry.counter(WINDOW_VERDICTS).inc(1, tenant=tenant, verdict=verdict)
+
+
+def record_window_served(
+    registry: MetricsRegistry,
+    tenant: str,
+    rung_label: str,
+    degraded: bool,
+    raw_fallback: bool,
+    bytes_in: int,
+    bytes_out: int,
+) -> None:
+    registry.counter(WINDOW_SERVED).inc(1, tenant=tenant, rung=rung_label)
+    volumes = registry.counter(WINDOW_BYTES)
+    volumes.inc(bytes_in, kind="in_served")
+    volumes.inc(bytes_out, kind="out")
+    if degraded:
+        registry.counter(WINDOW_DEGRADED).inc(1, rung=rung_label)
+        volumes.inc(bytes_in, kind="in_degraded")
+        volumes.inc(bytes_out, kind="out_degraded")
+    if raw_fallback:
+        registry.counter(WINDOW_RAW).inc(1, tenant=tenant)
+
+
+def record_window_completion(
+    registry: MetricsRegistry,
+    tenant: str,
+    latency_seconds: float,
+    wait_seconds: float,
+    on_time: bool,
+    bytes_in: int,
+) -> None:
+    latency = registry.histogram(WINDOW_LATENCY)
+    latency.observe(latency_seconds, tenant=ALL_TENANTS)
+    latency.observe(latency_seconds, tenant=tenant)
+    registry.histogram(WINDOW_WAIT).observe(wait_seconds, tenant=ALL_TENANTS)
+    registry.counter(WINDOW_OUTCOMES).inc(
+        1, result="on_time" if on_time else "tardy"
+    )
+    if on_time:
+        registry.counter(WINDOW_BYTES).inc(bytes_in, kind="on_time")
+
+
+def _latency_p99(registry: MetricsRegistry, tenant: str) -> Optional[float]:
+    hist = registry.get(WINDOW_LATENCY)
+    if not isinstance(hist, Histogram) or not hist.count(tenant=tenant):
+        return None
+    return hist.percentile(99, tenant=tenant)
+
+
+def _ratio_lost(registry: MetricsRegistry, rung0_ratio: float) -> Optional[float]:
+    """Window-local form of ``ServingReport.ratio_lost_to_degradation``."""
+    bytes_out = metric_total(registry, WINDOW_BYTES, kind="out")
+    if bytes_out <= 0 or rung0_ratio <= 0:
+        return None
+    in_degraded = metric_total(registry, WINDOW_BYTES, kind="in_degraded")
+    if in_degraded <= 0:
+        return 0.0
+    in_served = metric_total(registry, WINDOW_BYTES, kind="in_served")
+    out_degraded = metric_total(registry, WINDOW_BYTES, kind="out_degraded")
+    counterfactual_out = bytes_out - out_degraded + in_degraded / rung0_ratio
+    if counterfactual_out <= 0:
+        return None
+    achieved = in_served / bytes_out
+    reference = in_served / counterfactual_out
+    if reference <= 0:
+        return None
+    return max(0.0, 1.0 - achieved / reference)
+
+
+# -- the serving SLO set -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServingSLOConfig:
+    """Objectives for the four serving SLOs (the tunable surface)."""
+
+    #: budget fraction of offered requests that may go unserved
+    #: (throttled + front-door shed + deadline-expired): a 99.8%
+    #: served objective, tight enough that sustained deadline drops
+    #: page while the baseline scenario stays silent
+    shed_budget: float = 0.002
+    #: p99 end-to-end latency bound, seconds
+    latency_p99_seconds: float = 0.25
+    #: on-time goodput floor, bytes per second of window span
+    goodput_floor_bytes_per_second: float = 250_000.0
+    #: budget fraction of compression ratio the ladder may give up
+    ratio_lost_budget: float = 0.15
+
+
+class GoodputSLO(SLO):
+    """On-time bytes per second of window span must stay above a floor.
+
+    Needs the window *widths* (a rate over time), so it reads the window
+    sequence directly instead of going through a merged-registry
+    callable. Windows with no completions at all carry no signal (the
+    run has not started, or nothing was in flight).
+    """
+
+    def __init__(self, name: str, floor_bytes_per_second: float) -> None:
+        super().__init__(name, "on-time goodput stays above the floor")
+        if floor_bytes_per_second <= 0:
+            raise ValueError("goodput floor must be positive")
+        self.floor = floor_bytes_per_second
+
+    def burn_rate(self, windows: Sequence[WindowSnapshot]) -> Optional[float]:
+        span = sum(w.width for w in windows)
+        if span <= 0:
+            return None
+        merged = merge_windows(windows)
+        completions = metric_total(merged, WINDOW_OUTCOMES)
+        if completions <= 0:
+            return None
+        goodput = metric_total(merged, WINDOW_BYTES, kind="on_time") / span
+        if goodput <= 0:
+            return float("inf")
+        return self.floor / goodput
+
+
+def serving_slos(
+    config: ServingSLOConfig, rung0_ratio: float
+) -> List[SLO]:
+    """The serving plane's SLO set, in display order."""
+    return [
+        EventRateSLO(
+            "shed_rate",
+            bad=lambda reg: (
+                metric_total(reg, WINDOW_VERDICTS, verdict="throttle")
+                + metric_total(reg, WINDOW_VERDICTS, verdict="shed")
+                + metric_total(reg, WINDOW_VERDICTS, verdict="expired")
+            ),
+            total=lambda reg: (
+                metric_total(reg, WINDOW_VERDICTS, verdict="admit")
+                + metric_total(reg, WINDOW_VERDICTS, verdict="throttle")
+                + metric_total(reg, WINDOW_VERDICTS, verdict="shed")
+            ),
+            budget=config.shed_budget,
+            description="offered requests refused or dropped on deadline",
+        ),
+        BoundSLO(
+            "latency_p99",
+            value=lambda reg: _latency_p99(reg, ALL_TENANTS),
+            bound=config.latency_p99_seconds,
+            mode="upper",
+            description="end-to-end p99 stays under the bound",
+        ),
+        GoodputSLO("goodput", config.goodput_floor_bytes_per_second),
+        BoundSLO(
+            "ratio_lost",
+            value=lambda reg, r0=rung0_ratio: _ratio_lost(reg, r0),
+            bound=config.ratio_lost_budget,
+            mode="upper",
+            description="compression ratio given up by the ladder",
+        ),
+    ]
+
+
+# -- the timeline ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TenantWindow:
+    """One tenant's slice of one window (the drilldown row)."""
+
+    offered: int
+    served: int
+    p99_ms: Optional[float]
+
+
+@dataclass(frozen=True)
+class TimelineWindow:
+    """One closed window distilled to plain data, plus the alert edges
+    its evaluation produced."""
+
+    index: int
+    start: float
+    end: float
+    offered: int
+    admitted: int
+    throttled: int
+    shed: int
+    expired: int
+    served: int
+    degraded: int
+    raw_fallbacks: int
+    on_time: int
+    tardy: int
+    p99_ms: Optional[float]
+    wait_p99_ms: Optional[float]
+    goodput_bytes_per_second: float
+    ratio_lost: Optional[float]
+    #: alert state per SLO after this window's evaluation
+    states: Dict[str, str]
+    #: headline burn per SLO (the page rule's long-window burn)
+    burns: Dict[str, Optional[float]]
+    tenants: Dict[str, TenantWindow]
+    transitions: Tuple[AlertTransition, ...]
+
+
+def build_window_row(
+    snapshot: WindowSnapshot,
+    evaluator: SLOEvaluator,
+    rung0_ratio: float,
+    transitions: Sequence[AlertTransition],
+) -> TimelineWindow:
+    reg = snapshot.registry
+    verdicts = {
+        v: int(metric_total(reg, WINDOW_VERDICTS, verdict=v))
+        for v in ("admit", "throttle", "shed", "expired")
+    }
+    tenants: Dict[str, TenantWindow] = {}
+    names = set()
+    for counter_name in (WINDOW_VERDICTS, WINDOW_SERVED):
+        metric = reg.get(counter_name)
+        if metric is not None:
+            for key, __ in metric.samples():
+                tenant = dict(key).get("tenant")
+                if tenant and tenant != ALL_TENANTS:
+                    names.add(tenant)
+    for tenant in sorted(names):
+        p99 = _latency_p99(reg, tenant)
+        tenants[tenant] = TenantWindow(
+            # arrival verdicts only: "expired" is a second verdict for an
+            # already-admitted request, so including it would double-count
+            # (tenant rows must partition the window's offered total)
+            offered=sum(
+                int(metric_total(reg, WINDOW_VERDICTS, tenant=tenant, verdict=v))
+                for v in ("admit", "throttle", "shed")
+            ),
+            served=int(metric_total(reg, WINDOW_SERVED, tenant=tenant)),
+            p99_ms=None if p99 is None else p99 * 1e3,
+        )
+    p99 = _latency_p99(reg, ALL_TENANTS)
+    wait = reg.get(WINDOW_WAIT)
+    wait_p99 = (
+        wait.percentile(99, tenant=ALL_TENANTS)
+        if isinstance(wait, Histogram) and wait.count(tenant=ALL_TENANTS)
+        else None
+    )
+    burns: Dict[str, Optional[float]] = {}
+    for slo in evaluator.slos:
+        rule_burns = evaluator.last_burns.get(slo.name, {})
+        burns[slo.name] = next(iter(rule_burns.values()), None)
+    return TimelineWindow(
+        index=snapshot.index,
+        start=snapshot.start,
+        end=snapshot.end,
+        offered=verdicts["admit"] + verdicts["throttle"] + verdicts["shed"],
+        admitted=verdicts["admit"],
+        throttled=verdicts["throttle"],
+        shed=verdicts["shed"],
+        expired=verdicts["expired"],
+        served=int(metric_total(reg, WINDOW_SERVED)),
+        degraded=int(metric_total(reg, WINDOW_DEGRADED)),
+        raw_fallbacks=int(metric_total(reg, WINDOW_RAW)),
+        on_time=int(metric_total(reg, WINDOW_OUTCOMES, result="on_time")),
+        tardy=int(metric_total(reg, WINDOW_OUTCOMES, result="tardy")),
+        p99_ms=None if p99 is None else p99 * 1e3,
+        wait_p99_ms=None if wait_p99 is None else wait_p99 * 1e3,
+        goodput_bytes_per_second=(
+            metric_total(reg, WINDOW_BYTES, kind="on_time") / snapshot.width
+            if snapshot.width > 0
+            else 0.0
+        ),
+        ratio_lost=_ratio_lost(reg, rung0_ratio),
+        states=dict(evaluator.states()),
+        burns=burns,
+        tenants=tenants,
+        transitions=tuple(transitions),
+    )
+
+
+@dataclass
+class ServingTimeline:
+    """The full window-by-window record of one simulated run."""
+
+    scenario: str
+    seed: int
+    scale: float
+    window_seconds: float
+    config: ServingSLOConfig
+    windows: List[TimelineWindow] = field(default_factory=list)
+    final_states: Dict[str, str] = field(default_factory=dict)
+    page_seconds: Dict[str, float] = field(default_factory=dict)
+    warn_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def transitions(self) -> List[AlertTransition]:
+        return [t for w in self.windows for t in w.transitions]
+
+    def total_page_seconds(self) -> float:
+        return sum(self.page_seconds.values())
+
+    def total_warn_seconds(self) -> float:
+        return sum(self.warn_seconds.values())
+
+    def first_transition(
+        self, slo: Optional[str] = None, to_state: Optional[str] = None
+    ) -> Optional[AlertTransition]:
+        for transition in self.transitions:
+            if slo is not None and transition.slo != slo:
+                continue
+            if to_state is not None and transition.to_state != to_state:
+                continue
+            return transition
+        return None
+
+    def worst_state(self) -> str:
+        rank = {OK: 0, WARN: 1, PAGE: 2}
+        worst = OK
+        for window in self.windows:
+            for state in window.states.values():
+                if rank[state] > rank[worst]:
+                    worst = state
+        return worst
+
+
+# -- renderers ---------------------------------------------------------------
+
+
+def timeline_jsonl(timeline: ServingTimeline) -> str:
+    """The flight-recorder form: run header, one line per window,
+    one line per alert transition, end summary. Deterministic
+    (sorted keys, fixed-precision floats) so seeded runs diff clean;
+    ``repro obs watch`` replays this format."""
+    lines: List[str] = [
+        json_line(
+            {
+                "kind": "run",
+                "plane": "serving",
+                "scenario": timeline.scenario,
+                "seed": timeline.seed,
+                "scale": timeline.scale,
+                "window_seconds": timeline.window_seconds,
+                "slos": {
+                    "shed_budget": timeline.config.shed_budget,
+                    "latency_p99_seconds": timeline.config.latency_p99_seconds,
+                    "goodput_floor_bytes_per_second": (
+                        timeline.config.goodput_floor_bytes_per_second
+                    ),
+                    "ratio_lost_budget": timeline.config.ratio_lost_budget,
+                },
+            }
+        )
+    ]
+    for w in timeline.windows:
+        lines.append(
+            json_line(
+                {
+                    "kind": "window",
+                    "index": w.index,
+                    "start": w.start,
+                    "end": w.end,
+                    "offered": w.offered,
+                    "admitted": w.admitted,
+                    "throttled": w.throttled,
+                    "shed": w.shed,
+                    "expired": w.expired,
+                    "served": w.served,
+                    "degraded": w.degraded,
+                    "raw_fallbacks": w.raw_fallbacks,
+                    "on_time": w.on_time,
+                    "tardy": w.tardy,
+                    "p99_ms": w.p99_ms,
+                    "wait_p99_ms": w.wait_p99_ms,
+                    "goodput_bytes_per_second": w.goodput_bytes_per_second,
+                    "ratio_lost": w.ratio_lost,
+                    "states": w.states,
+                    "burns": w.burns,
+                    "tenants": {
+                        name: {
+                            "offered": t.offered,
+                            "served": t.served,
+                            "p99_ms": t.p99_ms,
+                        }
+                        for name, t in w.tenants.items()
+                    },
+                }
+            )
+        )
+        for t in w.transitions:
+            lines.append(
+                json_line(
+                    {
+                        "kind": "alert",
+                        "at": t.at,
+                        "slo": t.slo,
+                        "from": t.from_state,
+                        "to": t.to_state,
+                        "reason": t.reason,
+                    }
+                )
+            )
+    lines.append(
+        json_line(
+            {
+                "kind": "end",
+                "windows": len(timeline.windows),
+                "final_states": timeline.final_states,
+                "page_seconds": timeline.page_seconds,
+                "warn_seconds": timeline.warn_seconds,
+                "total_page_seconds": timeline.total_page_seconds(),
+                "worst_state": timeline.worst_state(),
+            }
+        )
+    )
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_opt(value: Optional[float], spec: str, width: int) -> str:
+    if value is None:
+        return "-".rjust(width)
+    return format(value, spec).rjust(width)
+
+
+def format_timeline(timeline: ServingTimeline) -> str:
+    """Human-readable timeline; byte-identical for identical runs."""
+    lines = [
+        f"slo timeline -- scenario '{timeline.scenario}', "
+        f"seed {timeline.seed}, scale {timeline.scale:g}, "
+        f"window {timeline.window_seconds:g} s",
+        "",
+        f"{'win':>4s} {'span (s)':>15s} {'offer':>6s} {'shed':>5s} "
+        f"{'exp':>4s} {'served':>6s} {'degr':>5s} {'p99 ms':>8s} "
+        f"{'MB/s':>7s} {'burn':>7s}  states",
+    ]
+    for w in timeline.windows:
+        span = f"[{w.start:6.2f},{w.end:6.2f})"
+        worst_burn = max(
+            (b for b in w.burns.values() if b is not None), default=None
+        )
+        hot = sorted(
+            (name, state)
+            for name, state in w.states.items()
+            if state != OK
+        )
+        states = " ".join(f"{name}={state}" for name, state in hot) or "ok"
+        lines.append(
+            f"{w.index:4d} {span:>15s} {w.offered:6d} {w.shed:5d} "
+            f"{w.expired:4d} {w.served:6d} {w.degraded:5d} "
+            f"{_fmt_opt(w.p99_ms, '8.2f', 8)} "
+            f"{w.goodput_bytes_per_second / 1e6:7.3f} "
+            f"{_fmt_opt(worst_burn, '7.2f', 7)}  {states}"
+        )
+        for t in w.transitions:
+            lines.append(
+                f"     ! {t.at:.3f} s  {t.slo}: {t.from_state} -> "
+                f"{t.to_state} ({t.reason})"
+            )
+    lines.append("")
+    final = " ".join(
+        f"{name}={state}"
+        for name, state in sorted(timeline.final_states.items())
+    )
+    lines.append(f"final states: {final or 'ok'}")
+    lines.append(
+        f"page seconds: {timeline.total_page_seconds():.3f} "
+        f"(warn {timeline.total_warn_seconds():.3f}); "
+        f"worst state {timeline.worst_state()}"
+    )
+    return "\n".join(lines)

@@ -88,3 +88,53 @@ class TestTable:
 
     def test_empty_registry(self):
         assert "no telemetry" in to_table(MetricsRegistry())
+
+
+class TestDeterministicJson:
+    def test_json_line_sorts_keys_and_rounds(self):
+        from repro.obs.export import json_line
+
+        line = json_line({"b": 1 / 3, "a": {"z": 2 / 3, "y": 1}})
+        assert line == '{"a":{"y":1,"z":0.666666667},"b":0.333333333}'
+        # identical input -> identical bytes, regardless of insertion order
+        assert line == json_line({"a": {"y": 1, "z": 2 / 3}, "b": 1 / 3})
+
+    def test_round_floats_recursive_and_nonfinite_safe(self):
+        import math
+
+        from repro.obs.export import round_floats
+
+        out = round_floats({"xs": [1.23456789012, {"y": 2.0}], "n": 3})
+        assert out == {"xs": [1.23456789, {"y": 2.0}], "n": 3}
+        assert math.isinf(round_floats(float("inf")))
+        assert math.isnan(round_floats(float("nan")))
+
+    def test_snapshot_order_independent_of_recording_order(self):
+        from repro.obs.export import registry_snapshot
+        from repro.obs.metrics import MetricsRegistry
+
+        def build(order):
+            reg = MetricsRegistry()
+            for name, codec in order:
+                reg.counter(name).inc(1, codec=codec)
+            return registry_snapshot(reg)
+
+        forward = build([("b_calls", "zstd"), ("a_calls", "lz4")])
+        backward = build([("a_calls", "lz4"), ("b_calls", "zstd")])
+        assert forward == backward
+        assert [e["metric"] for e in forward] == sorted(
+            e["metric"] for e in forward
+        )
+
+    def test_jsonl_byte_identical_across_runs(self):
+        from repro.obs.export import to_jsonl
+        from repro.obs.metrics import MetricsRegistry
+
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("calls").inc(3, codec="zstd")
+            reg.histogram("lat").observe(0.125, codec="zstd")
+            reg.gauge("mem").inc(7.0)
+            return to_jsonl(reg)
+
+        assert build() == build()

@@ -1,0 +1,197 @@
+"""TimeSeriesRecorder: window mechanics and the lossless-merge property.
+
+The load-bearing claim (ISSUE 6, satellite 3): folding N window
+snapshots back into one registry yields *exactly* the histogram a
+one-shot recording of the same samples would have produced — bucket
+counts, count/sum, min/max, and therefore every percentile. The
+property test drives it over adversarial values pinned on (and a
+half-ulp around) the log-bucket edges, the same fixtures the percentile
+monotonicity tests use.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (
+    TimeSeriesRecorder,
+    WallClock,
+    WindowSnapshot,
+    merge_windows,
+)
+
+
+class TestWindowMechanics:
+    def test_advance_closes_elapsed_windows(self):
+        rec = TimeSeriesRecorder(width_seconds=1.0)
+        rec.registry().counter("ops").inc(3)
+        assert rec.advance(0.5) == []  # still inside window 0
+        closed = rec.advance(1.0)
+        assert [w.index for w in closed] == [0]
+        assert (closed[0].start, closed[0].end) == (0.0, 1.0)
+        assert closed[0].registry.get("ops") is not None
+        # the in-progress window is fresh
+        assert len(rec.registry()) == 0
+        assert rec.current_index == 1
+
+    def test_skipped_windows_close_empty_no_gaps(self):
+        rec = TimeSeriesRecorder(width_seconds=1.0)
+        rec.registry().counter("ops").inc()
+        closed = rec.advance(3.5)
+        assert [w.index for w in closed] == [0, 1, 2]
+        assert [(w.start, w.end) for w in closed] == [
+            (0.0, 1.0), (1.0, 2.0), (2.0, 3.0),
+        ]
+        # the skipped windows are present but empty
+        assert len(closed[1].registry) == 0
+        assert len(closed[2].registry) == 0
+
+    def test_stale_now_is_noop(self):
+        rec = TimeSeriesRecorder(width_seconds=1.0)
+        rec.advance(2.0)
+        assert rec.advance(1.0) == []
+        assert rec.current_index == 2
+
+    def test_flush_closes_nonempty_only(self):
+        rec = TimeSeriesRecorder(width_seconds=1.0)
+        assert rec.flush() is None  # untouched window: nothing to emit
+        rec.registry().counter("ops").inc()
+        snap = rec.flush()
+        assert isinstance(snap, WindowSnapshot)
+        assert (snap.start, snap.end) == (0.0, 1.0)  # nominal bounds kept
+        assert rec.current_start == 1.0
+
+    def test_ring_eviction_is_counted(self):
+        rec = TimeSeriesRecorder(width_seconds=1.0, capacity=2)
+        rec.advance(3.0)
+        assert len(rec) == 2
+        assert rec.evicted == 1
+        assert [w.index for w in rec.windows()] == [1, 2]
+
+    def test_windows_last_and_merged(self):
+        rec = TimeSeriesRecorder(width_seconds=1.0)
+        for i in range(4):
+            rec.registry().counter("ops").inc(i + 1)
+            rec.advance(float(i + 1))
+        assert [w.index for w in rec.windows(last=2)] == [2, 3]
+        total = rec.merged().get("ops")
+        assert sum(v for _, v in total.samples()) == 1 + 2 + 3 + 4
+        recent = rec.merged(last=2).get("ops")
+        assert sum(v for _, v in recent.samples()) == 3 + 4
+
+    def test_tick_uses_bound_clock(self):
+        beat = {"now": 0.0}
+        rec = TimeSeriesRecorder(width_seconds=1.0, clock=lambda: beat["now"])
+        beat["now"] = 2.0
+        assert [w.index for w in rec.tick()] == [0, 1]
+        # object clocks (SimClock/WallClock face) work too
+        rec2 = TimeSeriesRecorder(width_seconds=1e9, clock=WallClock())
+        assert rec2.tick() == []
+
+    def test_clockless_tick_rejected(self):
+        rec = TimeSeriesRecorder(width_seconds=1.0)
+        with pytest.raises(ValueError):
+            rec.tick()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(width_seconds=0.0)
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(width_seconds=1.0, capacity=0)
+        with pytest.raises(ValueError):
+            TimeSeriesRecorder(width_seconds=1.0).windows(last=-1)
+
+
+def _adversarial_values() -> list:
+    """Values pinned on and a half-ulp around the 4-per-octave log-bucket
+    edges (the monotonicity fixtures), plus zeros and a wide-range tail."""
+    base = math.log(2.0) / 4
+    values = []
+    for k in range(-40, 41):
+        edge = math.exp(k * base)
+        values.extend(
+            (edge, math.nextafter(edge, 0.0), math.nextafter(edge, math.inf))
+        )
+    values.extend([0.0] * 10)
+    values.extend([1e-9, 1e-3, 1.0, 1.0, 1e6])
+    return values
+
+
+class TestMergeEqualsOneShot:
+    """Satellite 3: N window snapshots fold into the one-shot histogram."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 2023])
+    @pytest.mark.parametrize("n_windows", [2, 5, 16])
+    def test_histogram_merge_lossless(self, seed, n_windows):
+        values = _adversarial_values()
+        rng = random.Random(seed)
+        rng.shuffle(values)
+
+        one_shot = MetricsRegistry()
+        for v in values:
+            one_shot.histogram("lat").observe(v)
+
+        rec = TimeSeriesRecorder(width_seconds=1.0)
+        for i, v in enumerate(values):
+            # scatter the stream across n_windows windows, uneven splits
+            rec.advance(float(rng.randrange(n_windows)))
+            rec.registry().histogram("lat").observe(v)
+        rec.advance(float(n_windows))
+        assert rec.flush() is None  # everything landed in closed windows
+
+        merged = merge_windows(rec.windows()).get("lat")
+        ref = one_shot.get("lat")
+        assert merged.count() == ref.count() == len(values)
+        assert merged.min() == ref.min()
+        assert merged.max() == ref.max()
+        assert merged.sum() == pytest.approx(ref.sum())
+        assert merged.cumulative_buckets() == ref.cumulative_buckets()
+        for p in range(0, 101):
+            assert merged.percentile(p) == ref.percentile(p), p
+
+    def test_labeled_series_and_counters_survive(self):
+        rng = random.Random(42)
+        one_shot = MetricsRegistry()
+        rec = TimeSeriesRecorder(width_seconds=0.25)
+        at = 0.0
+        for _ in range(300):
+            codec = rng.choice(["zstd", "lz4"])
+            v = rng.lognormvariate(-7, 2)
+            for reg in (one_shot, rec.registry()):
+                reg.histogram("lat").observe(v, codec=codec)
+                reg.counter("calls").inc(1, codec=codec)
+            at += rng.random() * 0.2
+            rec.advance(at)
+        rec.flush()
+
+        merged = merge_windows(rec.windows())
+        for codec in ("zstd", "lz4"):
+            got, ref = merged.get("lat"), one_shot.get("lat")
+            assert got.count(codec=codec) == ref.count(codec=codec)
+            for p in (50, 90, 99):
+                assert got.percentile(p, codec=codec) == ref.percentile(
+                    p, codec=codec
+                )
+        got_calls = dict(merged.get("calls").samples())
+        ref_calls = dict(one_shot.get("calls").samples())
+        assert got_calls == ref_calls
+
+    def test_merge_windows_is_associative(self):
+        rec = TimeSeriesRecorder(width_seconds=1.0)
+        rng = random.Random(9)
+        for i in range(6):
+            for _ in range(20):
+                rec.registry().histogram("h").observe(rng.lognormvariate(0, 1))
+            rec.advance(float(i + 1))
+        ws = rec.windows()
+        left = merge_windows([ws[0], ws[1]])
+        for w in ws[2:]:
+            left.merge(w.registry)
+        right = merge_windows(ws)
+        assert left.get("h").cumulative_buckets() == right.get(
+            "h"
+        ).cumulative_buckets()

@@ -1,0 +1,136 @@
+"""The serving SLO timeline: determinism, ordering, and drilldowns.
+
+Acceptance-critical properties (ISSUE 6):
+
+- two runs at the same seed render **byte-identical** alert timelines
+  (table and JSONL forms);
+- under overload the shed-rate burn alert fires **after** the
+  degradation ladder has engaged — alerting observes the ladder's
+  attempt to absorb the overload, it does not preempt it;
+- the baseline scenario holds every SLO at OK end to end.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.slo import OK, PAGE
+from repro.serving import run_simulation
+from repro.serving.slos import (
+    ServingSLOConfig,
+    format_timeline,
+    serving_slos,
+    timeline_jsonl,
+)
+
+_OVERLOAD = dict(scenario="overload", seed=42, scale=0.5)
+
+
+@pytest.fixture(scope="module")
+def overload_report():
+    return run_simulation(**_OVERLOAD)
+
+
+class TestDeterminism:
+    def test_jsonl_timeline_byte_identical(self, overload_report):
+        again = run_simulation(**_OVERLOAD)
+        assert timeline_jsonl(overload_report.timeline) == timeline_jsonl(
+            again.timeline
+        )
+
+    def test_table_timeline_byte_identical(self, overload_report):
+        again = run_simulation(**_OVERLOAD)
+        assert format_timeline(overload_report.timeline) == format_timeline(
+            again.timeline
+        )
+
+    def test_jsonl_lines_parse_sorted_keys(self, overload_report):
+        lines = timeline_jsonl(overload_report.timeline).splitlines()
+        kinds = []
+        for line in lines:
+            row = json.loads(line)
+            kinds.append(row["kind"])
+            assert list(row) == sorted(row)
+        assert kinds[0] == "run"
+        assert kinds[-1] == "end"
+        assert "window" in kinds and "alert" in kinds
+
+
+class TestAlertOrdering:
+    def test_overload_pages_shed_rate_after_degradation(self, overload_report):
+        timeline = overload_report.timeline
+        page = timeline.first_transition("shed_rate", PAGE)
+        assert page is not None, "overload must page the shed-rate SLO"
+        assert overload_report.first_degraded_at is not None
+        # the ladder engages first; the burn alert recognizes overload later
+        assert page.at > overload_report.first_degraded_at
+        assert timeline.total_page_seconds() > 0
+        assert timeline.worst_state() == PAGE
+
+    def test_overload_windows_show_expired_pressure(self, overload_report):
+        # the shed-rate SLO counts deadline-expired work as shed capacity
+        assert sum(w.expired for w in overload_report.timeline.windows) > 0
+
+    def test_baseline_stays_ok(self):
+        report = run_simulation("baseline", seed=7, scale=0.25)
+        timeline = report.timeline
+        assert timeline.transitions == []
+        assert set(timeline.final_states.values()) == {OK}
+        assert timeline.total_page_seconds() == 0.0
+
+
+class TestWindowAccounting:
+    def test_windows_contiguous_fixed_width(self, overload_report):
+        timeline = overload_report.timeline
+        width = timeline.window_seconds
+        for i, w in enumerate(timeline.windows):
+            assert w.index == i
+            assert w.end - w.start == pytest.approx(width)
+            assert w.start == pytest.approx(i * width)
+
+    def test_window_totals_match_report(self, overload_report):
+        timeline = overload_report.timeline
+        report = overload_report
+        assert sum(w.offered for w in timeline.windows) == report.arrivals
+        assert sum(w.served for w in timeline.windows) == report.served
+        assert sum(w.shed for w in timeline.windows) == report.shed
+        assert sum(w.degraded for w in timeline.windows) == report.degraded
+
+    def test_tenant_drilldowns_partition_offered(self, overload_report):
+        windows = overload_report.timeline.windows
+        assert any(w.tenants for w in windows)
+        for w in windows:
+            assert sum(t.offered for t in w.tenants.values()) == w.offered
+            assert sum(t.served for t in w.tenants.values()) == w.served
+            for tenant in w.tenants.values():
+                if tenant.p99_ms is not None:
+                    assert tenant.p99_ms >= 0.0
+
+    def test_custom_window_width(self):
+        report = run_simulation(**_OVERLOAD, window_seconds=0.5)
+        assert report.timeline.window_seconds == 0.5
+        assert len(report.timeline.windows) < len(
+            run_simulation(**_OVERLOAD).timeline.windows
+        )
+
+    def test_invalid_window_width_rejected(self):
+        with pytest.raises(ValueError):
+            run_simulation(**_OVERLOAD, window_seconds=0.0)
+
+    def test_timeline_opt_out(self):
+        report = run_simulation(**_OVERLOAD, with_timeline=False)
+        assert report.timeline is None
+
+
+class TestConfig:
+    def test_serving_slos_cover_the_four_objectives(self):
+        names = {s.name for s in serving_slos(ServingSLOConfig(), 3.0)}
+        assert names == {"shed_rate", "latency_p99", "goodput", "ratio_lost"}
+
+    def test_custom_budget_changes_alerting(self):
+        # an absurdly lax shed budget keeps overload from paging shed_rate
+        lax = ServingSLOConfig(shed_budget=0.9)
+        report = run_simulation(**_OVERLOAD, slo_config=lax)
+        assert report.timeline.first_transition("shed_rate", PAGE) is None

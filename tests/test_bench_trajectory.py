@@ -1,0 +1,166 @@
+"""The perf trajectory: persistence, the diff gate, and its CLI.
+
+Acceptance-critical: injecting a 2x slowdown into a tracked latency
+metric must flip ``has_regressions`` and make ``repro bench-diff`` exit
+nonzero; the committed ``BENCH_trajectory.json`` must load and carry at
+least the three deterministic benchmark families.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.trajectory import (
+    DEFAULT_MAX_REGRESSION,
+    TrajectoryEntry,
+    compare_trajectories,
+    format_diff,
+    has_regressions,
+    load_trajectory,
+    record_entry,
+    save_trajectory,
+)
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_BASELINE = os.path.join(_REPO_ROOT, "BENCH_trajectory.json")
+
+
+def _entries(**values):
+    return {
+        name: TrajectoryEntry(
+            name=name, value=value, unit="MB/s", higher_is_better=True
+        )
+        for name, value in values.items()
+    }
+
+
+class TestPersistence:
+    def test_roundtrip_and_update(self, tmp_path):
+        path = str(tmp_path / "traj.json")
+        record_entry(path, TrajectoryEntry("a.speed", 100.0, "MB/s", True))
+        record_entry(
+            path, TrajectoryEntry("a.p99", 5.0, "ms", False, tolerance=0.3)
+        )
+        record_entry(path, TrajectoryEntry("a.speed", 120.0, "MB/s", True))
+        entries = load_trajectory(path)
+        assert entries["a.speed"].value == 120.0  # updated in place
+        assert entries["a.p99"].tolerance == 0.3
+        assert entries["a.p99"].higher_is_better is False
+
+    def test_file_is_diff_clean(self, tmp_path):
+        path = str(tmp_path / "traj.json")
+        entries = _entries(b=2.0, a=1.0)
+        save_trajectory(path, entries)
+        first = open(path).read()
+        save_trajectory(path, dict(reversed(list(entries.items()))))
+        assert open(path).read() == first  # insertion order cannot leak
+        payload = json.loads(first)
+        assert list(payload["entries"]) == ["a", "b"]
+        assert first.endswith("\n")
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99, "entries": {}}')
+        with pytest.raises(ValueError):
+            load_trajectory(str(path))
+
+    def test_committed_baseline_loads(self):
+        entries = load_trajectory(_BASELINE)
+        assert len(entries) >= 3
+        families = {name.split(".")[0] for name in entries}
+        assert {"serving", "parallel", "codec"} <= families
+
+
+class TestCompare:
+    def test_within_tolerance_is_ok(self):
+        rows = compare_trajectories(
+            _entries(m=100.0), _entries(m=95.0), max_regression=0.10
+        )
+        assert [r.status for r in rows] == ["ok"]
+        assert not has_regressions(rows)
+
+    def test_injected_2x_slowdown_fails(self):
+        baseline = {
+            "p99": TrajectoryEntry("p99", 10.0, "ms", higher_is_better=False)
+        }
+        current = {
+            "p99": TrajectoryEntry("p99", 20.0, "ms", higher_is_better=False)
+        }
+        rows = compare_trajectories(baseline, current)
+        assert rows[0].status == "regressed"
+        assert rows[0].change == pytest.approx(-1.0)  # 100% worse
+        assert has_regressions(rows)
+        assert "FAIL" in format_diff(rows)
+
+    def test_improvement_direction_respects_polarity(self):
+        # higher-is-better metric doubling is an improvement, not a fail
+        rows = compare_trajectories(_entries(speed=100.0), _entries(speed=200.0))
+        assert rows[0].status == "improved"
+        assert not has_regressions(rows)
+
+    def test_per_entry_tolerance_overrides_default(self):
+        baseline = {
+            "noisy": TrajectoryEntry("noisy", 1.0, "x", False, tolerance=0.5)
+        }
+        current = {"noisy": TrajectoryEntry("noisy", 1.4, "x", False)}
+        rows = compare_trajectories(baseline, current, max_regression=0.10)
+        assert rows[0].status == "ok"  # 40% worse but tolerance is 50%
+
+    def test_missing_metric_fails_new_is_informational(self):
+        rows = compare_trajectories(
+            _entries(kept=1.0, dropped=1.0), _entries(kept=1.0, added=1.0)
+        )
+        by_name = {r.name: r.status for r in rows}
+        assert by_name == {"kept": "ok", "dropped": "missing", "added": "new"}
+        assert has_regressions(rows)
+
+    def test_format_diff_deterministic(self):
+        rows = compare_trajectories(_entries(a=1.0, b=2.0), _entries(a=1.0, b=2.0))
+        assert format_diff(rows) == format_diff(rows)
+        assert "all tracked metrics within tolerance" in format_diff(rows)
+
+
+class TestBenchDiffCLI:
+    def _write(self, tmp_path, name, entries):
+        path = str(tmp_path / name)
+        save_trajectory(path, entries)
+        return path
+
+    def test_identical_files_pass(self, tmp_path, capsys):
+        path = self._write(tmp_path, "base.json", _entries(m=100.0))
+        assert main(["bench-diff", path, path]) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_slowdown_exits_nonzero(self, tmp_path, capsys):
+        baseline = self._write(
+            tmp_path,
+            "base.json",
+            {"p99": TrajectoryEntry("p99", 10.0, "ms", False)},
+        )
+        current = self._write(
+            tmp_path,
+            "cur.json",
+            {"p99": TrajectoryEntry("p99", 20.0, "ms", False)},
+        )
+        assert main(["bench-diff", baseline, current]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_max_regression_flag_loosens_gate(self, tmp_path):
+        baseline = self._write(tmp_path, "base.json", _entries(m=100.0))
+        current = self._write(tmp_path, "cur.json", _entries(m=80.0))
+        assert main(["bench-diff", baseline, current]) == 1
+        assert main(
+            ["bench-diff", baseline, current, "--max-regression", "0.25"]
+        ) == 0
+
+    def test_unreadable_file_exits_2(self, tmp_path, capsys):
+        path = self._write(tmp_path, "base.json", _entries(m=1.0))
+        assert main(["bench-diff", path, str(tmp_path / "absent.json")]) == 2
+        assert "bench-diff:" in capsys.readouterr().err
+
+    def test_default_tolerance_matches_library(self):
+        assert DEFAULT_MAX_REGRESSION == pytest.approx(0.10)

@@ -148,3 +148,79 @@ class TestServeSim:
             ]
         ) == 1
         assert "FAIL" in capsys.readouterr().out
+
+
+class TestSloCommand:
+    _ARGS = ["slo", "--scenario", "overload", "--seed", "42", "--scale", "0.5"]
+
+    def test_table_timeline_prints(self, capsys):
+        assert main(self._ARGS) == 0
+        out = capsys.readouterr().out
+        assert "slo timeline -- scenario 'overload', seed 42" in out
+        assert "shed_rate: ok -> page" in out
+        assert "final states:" in out
+
+    def test_jsonl_runs_byte_identical(self, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        for path in (first, second):
+            assert main(
+                self._ARGS + ["--format", "jsonl", "--output", str(path)]
+            ) == 0
+        assert first.read_bytes() == second.read_bytes()
+        kinds = [
+            __import__("json").loads(line)["kind"]
+            for line in first.read_text().splitlines()
+        ]
+        assert kinds[0] == "run" and kinds[-1] == "end"
+
+    def test_max_page_seconds_gate(self, capsys):
+        assert main(self._ARGS + ["--max-page-seconds", "0"]) == 1
+        assert "page-seconds exceeds" in capsys.readouterr().err
+        assert main(
+            ["slo", "--scenario", "baseline", "--seed", "7", "--scale",
+             "0.25", "--max-page-seconds", "0"]
+        ) == 0
+
+    def test_shed_budget_override(self, capsys):
+        # a huge budget keeps even overload from paging shed_rate
+        assert main(
+            self._ARGS + ["--shed-budget", "0.9", "--max-page-seconds", "0.5"]
+        ) == 0
+
+
+class TestObsWatch:
+    def test_watch_replays_recorded_timeline(self, tmp_path, capsys):
+        recorded = tmp_path / "timeline.jsonl"
+        assert main(
+            [
+                "slo", "--scenario", "overload", "--seed", "42", "--scale",
+                "0.5", "--format", "jsonl", "--output", str(recorded),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "watch", str(recorded)]) == 0
+        out = capsys.readouterr().out
+        assert "obs watch -- serving scenario 'overload', seed 42" in out
+        assert "\x1b[31m" in out  # overload pages: red ANSI present
+        assert "shed_rate: ok -> page" in out
+
+    def test_no_color_strips_ansi(self, tmp_path, capsys):
+        recorded = tmp_path / "timeline.jsonl"
+        main(
+            ["slo", "--scenario", "overload", "--seed", "42", "--scale",
+             "0.25", "--format", "jsonl", "--output", str(recorded)]
+        )
+        capsys.readouterr()
+        assert main(["obs", "watch", str(recorded), "--no-color"]) == 0
+        assert "\x1b[" not in capsys.readouterr().out
+
+    def test_garbage_input_fails_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["obs", "watch", str(bad)]) == 1
+        assert "obs watch:" in capsys.readouterr().err
+
+    def test_plain_obs_still_works(self, capsys):
+        assert main(["obs", "--workload", "rpc", "--format", "table"]) == 0
+        assert "metric" in capsys.readouterr().out
