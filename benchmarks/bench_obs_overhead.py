@@ -170,6 +170,58 @@ def audit_serving_hooks_without_recorder() -> int:
     return served
 
 
+def audit_kvstore_hooks_disabled() -> int:
+    """Zero-cost audit for the durable-LSM hooks: with telemetry off, a
+    full write/flush/compact/crash-recover cycle must never reach the
+    WAL/recovery recording functions or open a span. Returns the number
+    of operations driven."""
+    import repro.services.kvstore.db as db_mod
+    import repro.services.kvstore.wal as wal_mod
+    from repro.services.kvstore import KVStore
+    from repro.services.kvstore.storage import SimStorage
+
+    def _must_not_be_called(*_args, **_kwargs):
+        raise AssertionError(
+            "kvstore obs hook reached with telemetry disabled — the "
+            "OBS_STATE.enabled guard is missing at a call site"
+        )
+
+    assert not OBS_STATE.enabled, "audit must run with telemetry disabled"
+    saved = (
+        db_mod.record_kvstore_recovery,
+        db_mod.span,
+        wal_mod.record_wal_append,
+        wal_mod.record_wal_replay,
+        wal_mod.record_torn_tail,
+    )
+    db_mod.record_kvstore_recovery = _must_not_be_called
+    db_mod.span = _must_not_be_called
+    wal_mod.record_wal_append = _must_not_be_called
+    wal_mod.record_wal_replay = _must_not_be_called
+    wal_mod.record_torn_tail = _must_not_be_called
+    ops = 0
+    try:
+        storage = SimStorage(seed=11)
+        store = KVStore(
+            storage=storage, memtable_bytes=1 << 11, level0_table_limit=2
+        )
+        for i in range(240):
+            store.put(f"audit:{i % 80:04d}".encode(), b"value body " * 8)
+            ops += 1
+        store.flush()
+        reopened = KVStore(
+            storage=storage, memtable_bytes=1 << 11, level0_table_limit=2
+        )
+        assert reopened.last_recovery is not None
+    finally:
+        db_mod.record_kvstore_recovery = saved[0]
+        db_mod.span = saved[1]
+        wal_mod.record_wal_append = saved[2]
+        wal_mod.record_wal_replay = saved[3]
+        wal_mod.record_torn_tail = saved[4]
+    return ops
+
+
 def test_disabled_telemetry_overhead():
     """Tier-2 guard: disabled-telemetry codec calls stay within 5%."""
     results = measure()
@@ -181,6 +233,12 @@ def test_serving_hooks_skipped_without_recorder():
     """Tier-2 guard: recorder-less gateways do zero time-series work."""
     served = audit_serving_hooks_without_recorder()
     assert served > 0
+
+
+def test_kvstore_hooks_skipped_when_disabled():
+    """Tier-2 guard: durable-LSM paths do zero obs work when disabled."""
+    ops = audit_kvstore_hooks_disabled()
+    assert ops > 0
 
 
 def _record_trajectory(results: dict) -> None:
@@ -204,6 +262,8 @@ def main() -> int:
     print(_report(results))
     served = audit_serving_hooks_without_recorder()
     print(f"PASS serving hooks silent without a recorder ({served} served)")
+    ops = audit_kvstore_hooks_disabled()
+    print(f"PASS kvstore durable hooks silent when disabled ({ops} ops)")
     _record_trajectory(results)
     failures = check(results)
     for failure in failures:

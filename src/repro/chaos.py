@@ -1,7 +1,8 @@
 """``repro chaos``: the service stack under a named fault plan.
 
-Runs six end-to-end scenarios -- RPC, cache, kvstore, far memory, managed
-compression, and the serving gateway -- with a
+Runs seven end-to-end scenarios -- RPC, cache, kvstore, far memory,
+managed compression, the serving gateway, and durable-kvstore crash
+recovery -- with a
 :class:`~repro.faults.FaultInjector` perturbing each one, and reports a
 survival scorecard: per scenario, how many operations succeeded untouched
 (``ok``), how many were disturbed by a fault but saved by the resilience
@@ -32,6 +33,9 @@ modeled time the recovery itself cost:
 - ``serving``  -- the modeled service seconds of a request the gateway
                   saved by degrading it down the ladder or by falling
                   back to raw passthrough when its codec faulted.
+- ``kvstore-crash`` -- the modeled recovery open (manifest + SST reload
+                  + WAL replay) plus the re-fetch of any acked write a
+                  lying fsync lost to the crash.
 
 The modeled re-fetch uses the default RPC link shape (10 Gb/s, 50 us
 propagation): recovery means going back to the source of truth, and that
@@ -45,10 +49,13 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.codecs import get_codec
 from repro.faults import (
+    CrashInjector,
+    CrashPlan,
     FaultInjector,
     FaultPlan,
     FaultyChannel,
     FaultyCodec,
+    SimulatedCrash,
     scrub_cache,
     scrub_sstable,
 )
@@ -68,7 +75,9 @@ from repro.resilience import CircuitBreaker, RetryPolicy, SimClock
 from repro.services.cache.client import CacheClient
 from repro.services.cache.server import CacheServer
 from repro.services.farmemory import PAGE_SIZE, FarMemoryPool, PageLostError
+from repro.services.kvstore.crashsim import CRASH_SITES
 from repro.services.kvstore.db import KVStore
+from repro.services.kvstore.storage import SimStorage
 from repro.services.managed import DictionaryRetiredError, ManagedCompression
 from repro.services.rpc import Channel, RpcExhaustedError
 from repro.serving.degrade import build_ladder
@@ -346,7 +355,7 @@ def _run_kvstore(
             _observe_recovery(
                 recovery,
                 "kvstore",
-                store.stats.read_decode_seconds[-1]
+                store.stats.last_read_decode_seconds
                 + _refetch_seconds(len(value)),
             )
         else:
@@ -592,6 +601,95 @@ def _run_serving(
     )
 
 
+def _run_kvstore_crash(
+    injector: FaultInjector, seed: int, count: int, recovery: Histogram
+) -> ScenarioResult:
+    """Durable LSM writes under seeded crashes and lying fsyncs.
+
+    Each op is one acked write. The plan's ``crash`` spec decides, per
+    op, whether to arm a crash at a randomly chosen durable-path site
+    (:data:`~repro.services.kvstore.crashsim.CRASH_SITES`); the armed
+    point fires whenever that site is next crossed — possibly ops later,
+    mid-flush or mid-compaction. On a crash the storage tears its
+    unsynced tails, the store reopens (manifest + SST reload + WAL
+    replay), the interrupted write is retried, and any *acked* write a
+    dropped sync lost is re-fetched from the source of truth — each such
+    op flips to ``recovered``. A write that can't be read back correctly
+    after the final audit is a ``failed`` op; the recovery invariant says
+    there must be none.
+    """
+    crash_injector = CrashInjector(CrashPlan.none())
+    crash_injector.disarm()
+    storage = SimStorage(
+        seed=seed, fault_injector=injector, crash_injector=crash_injector
+    )
+    kwargs = dict(
+        block_size=2048, memtable_bytes=4096, wal_segment_bytes=1 << 12
+    )
+    store = KVStore(storage=storage, **kwargs)
+    source: Dict[bytes, bytes] = {}
+    op_index: Dict[bytes, int] = {}
+    outcomes: List[str] = []
+    crashes = 0
+    torn_tails = 0
+    records_replayed = 0
+    for i in range(count):
+        # a hot keyspace, so crashes interrupt overwrites as well as inserts
+        key = f"durable:{i % max(1, count // 2):05d}".encode()
+        value = f"wal record {i:05d} crash-recoverable payload ".encode() * 4
+        for spec, rng in injector.decide("kvstore.durable"):
+            if spec.kind == "crash":
+                crash_injector.arm_point(rng.choice(CRASH_SITES))
+        outcome = "ok"
+        try:
+            store.put(key, value)
+        except SimulatedCrash:
+            crashes += 1
+            crash_injector.disarm()
+            storage.crash()
+            store = KVStore(storage=storage, **kwargs)
+            report = store.last_recovery
+            torn_tails += report.torn_tail_truncations
+            records_replayed += report.wal_records_replayed
+            seconds = report.modeled_seconds
+            # acked writes a lying fsync lost die with the torn tail:
+            # re-fetch each from the source of truth and write it back
+            for lost_key, lost_value in source.items():
+                if store.get(lost_key) != lost_value:
+                    store.put(lost_key, lost_value)
+                    seconds += _refetch_seconds(len(lost_value))
+                    j = op_index[lost_key]
+                    if outcomes[j] == "ok":
+                        outcomes[j] = "recovered"
+            # retry the interrupted write
+            store.put(key, value)
+            seconds += _refetch_seconds(len(value))
+            outcome = "recovered"
+            _observe_recovery(recovery, "kvstore-crash", seconds)
+        source[key] = value
+        op_index[key] = i
+        outcomes.append(outcome)
+    # final audit: every write must read back with its latest value
+    for key, value in source.items():
+        if store.get(key) != value:
+            outcomes[op_index[key]] = "failed"
+    return ScenarioResult(
+        "kvstore-crash",
+        count,
+        outcomes.count("ok"),
+        outcomes.count("recovered"),
+        outcomes.count("failed"),
+        outcomes=outcomes,
+        notes={
+            "crashes": crashes,
+            "torn_tails": torn_tails,
+            "wal_records_replayed": records_replayed,
+            "dropped_syncs": storage.stats.dropped_syncs,
+            "sst_count": store.sst_count,
+        },
+    )
+
+
 # -- the alert timeline -------------------------------------------------------
 
 #: operations per timeline window
@@ -692,6 +790,7 @@ _SCENARIOS = (
     (_run_farmemory, 40),
     (_run_managed, 60),
     (_run_serving, 50),
+    (_run_kvstore_crash, 40),
 )
 
 

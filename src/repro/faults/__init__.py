@@ -19,6 +19,7 @@ scorecard.
 """
 
 from repro.faults.corrupt import append_garbage, corrupt, flip_bits, truncate
+from repro.faults.crash import CrashInjector, CrashPlan, CrashPoint, SimulatedCrash
 from repro.faults.plan import (
     KINDS,
     NAMED_PLANS,
@@ -39,6 +40,9 @@ from repro.faults.wrappers import (
 
 __all__ = [
     "CodecEffects",
+    "CrashInjector",
+    "CrashPlan",
+    "CrashPoint",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
@@ -48,6 +52,7 @@ __all__ = [
     "KINDS",
     "NAMED_PLANS",
     "PAYLOAD_KINDS",
+    "SimulatedCrash",
     "WireEffects",
     "append_garbage",
     "corrupt",

@@ -24,6 +24,8 @@ Fault kinds:
 ``fail``        the codec call raises (simulated codec failure)
 ``slow``        the codec call takes ``magnitude`` extra modeled seconds
 ``dict_loss``   a dictionary version disappears (managed compression)
+``crash``       the process dies at a seeded crash point (kvstore
+                durability; see :mod:`repro.faults.crash`)
 ==============  ========================================================
 """
 
@@ -37,7 +39,7 @@ from repro.obs.instrument import record_fault_injected
 from repro.obs.state import OBS_STATE
 
 PAYLOAD_KINDS = ("bit_flip", "truncate", "garbage")
-KINDS = PAYLOAD_KINDS + ("drop", "latency", "fail", "slow", "dict_loss")
+KINDS = PAYLOAD_KINDS + ("drop", "latency", "fail", "slow", "dict_loss", "crash")
 
 
 @dataclass(frozen=True)
@@ -93,6 +95,8 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
             FaultSpec("codec", "fail", 0.03),
             FaultSpec("codec", "slow", 0.02, magnitude=0.005),
             FaultSpec("kvstore.storage", "bit_flip", 0.08, magnitude=3),
+            FaultSpec("kvstore.durable", "crash", 0.10),
+            FaultSpec("kvstore.sync", "drop", 0.05),
             FaultSpec("managed.dictionary", "dict_loss", 0.10),
         ),
     ),

@@ -47,6 +47,11 @@ SERVING_WAIT_SECONDS = "repro_serving_wait_seconds"
 SERVING_SERVICE_SECONDS = "repro_serving_service_seconds"
 SERVING_DEGRADED = "repro_serving_degraded_total"
 SERVING_SHED = "repro_serving_shed_total"
+WAL_APPENDS = "repro_kvstore_wal_appends_total"
+WAL_BYTES = "repro_kvstore_wal_bytes_total"
+WAL_REPLAYED = "repro_kvstore_wal_replayed_records_total"
+TORN_TAILS = "repro_kvstore_torn_tail_truncations_total"
+KVSTORE_RECOVERY_SECONDS = "repro_kvstore_recovery_seconds"
 
 
 def _level_label(level: Optional[int]) -> str:
@@ -288,6 +293,53 @@ def record_fleet_sample(
         level=_level_label(level),
         stage=stage or "none",
     )
+
+
+def record_wal_append(
+    records: int, bytes_count: int, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One WAL group append: record count and framed bytes synced."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(WAL_APPENDS, help="WAL group appends").inc(1)
+    reg.counter(WAL_BYTES, help="WAL bytes by direction").inc(
+        bytes_count, direction="append"
+    )
+    reg.counter(
+        WAL_REPLAYED, help="WAL records written/replayed"
+    ).inc(records, direction="append")
+
+
+def record_wal_replay(
+    records: int, bytes_count: int, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """WAL records re-applied to the memtable during recovery."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(WAL_BYTES, help="WAL bytes by direction").inc(
+        bytes_count, direction="replay"
+    )
+    reg.counter(
+        WAL_REPLAYED, help="WAL records written/replayed"
+    ).inc(records, direction="replay")
+
+
+def record_torn_tail(
+    segment: str, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One torn WAL tail truncated at the first bad checksum."""
+    reg = registry if registry is not None else get_registry()
+    reg.counter(
+        TORN_TAILS, help="torn WAL tails truncated on replay"
+    ).inc(1, segment=segment)
+
+
+def record_kvstore_recovery(
+    seconds: float, registry: Optional[MetricsRegistry] = None
+) -> None:
+    """One crash-recovery open and its modeled latency."""
+    reg = registry if registry is not None else get_registry()
+    reg.histogram(
+        KVSTORE_RECOVERY_SECONDS, help="modeled seconds per kvstore recovery"
+    ).observe(seconds)
 
 
 def record_serving_verdict(

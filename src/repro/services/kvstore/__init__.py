@@ -11,7 +11,16 @@ from repro.services.kvstore.memtable import MemTable
 from repro.services.kvstore.bloom import BloomFilter
 from repro.services.kvstore.blockcache import BlockCache, BlockCacheStats
 from repro.services.kvstore.sst import SSTable, SSTableStats
-from repro.services.kvstore.db import KVStore, KVStoreStats
+from repro.services.kvstore.storage import SimStorage, StorageBackend, StorageStats
+from repro.services.kvstore.wal import WalReplayResult, WriteAheadLog
+from repro.services.kvstore.manifest import Manifest, ManifestState
+from repro.services.kvstore.db import KVStore, KVStoreStats, RecoveryReport
+from repro.services.kvstore.crashsim import (
+    CRASH_SITES,
+    CrashSweepResult,
+    RecoveryInvariantError,
+    run_crash_sweep,
+)
 
 __all__ = [
     "MemTable",
@@ -20,6 +29,18 @@ __all__ = [
     "BlockCacheStats",
     "SSTable",
     "SSTableStats",
+    "SimStorage",
+    "StorageBackend",
+    "StorageStats",
+    "WalReplayResult",
+    "WriteAheadLog",
+    "Manifest",
+    "ManifestState",
     "KVStore",
     "KVStoreStats",
+    "RecoveryReport",
+    "CRASH_SITES",
+    "CrashSweepResult",
+    "RecoveryInvariantError",
+    "run_crash_sweep",
 ]

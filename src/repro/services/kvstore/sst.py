@@ -92,6 +92,8 @@ class SSTable:
         self.level = level
         self.stats = stats
         self.entry_count = 0  # filled by build()
+        #: backing file name when owned by a durable store (else None)
+        self.file_name: Optional[str] = None
         self._cache: Optional[BlockCache] = None
         self._bloom: Optional[BloomFilter] = None
         #: indices of blocks that failed verified-decompress; never re-decoded

@@ -182,3 +182,89 @@ class TestKVStore:
             store.get(key)
         total = store.total_decompress_counters()
         assert total.bytes_out > 0
+
+
+class TestLevelSizing:
+    """The geometric level budget: ``level_size_multiplier`` must govern
+    compaction cadence (it used to be parsed and ignored)."""
+
+    def _run(self, multiplier):
+        store = KVStore(
+            memtable_bytes=1 << 11,
+            level0_table_limit=2,
+            level_size_multiplier=multiplier,
+        )
+        for key, value in generate_kv_records(1500, seed=3):
+            store.put(key, value)
+        store.flush()
+        return store
+
+    def test_budget_is_geometric(self):
+        store = KVStore(
+            memtable_bytes=1 << 11,
+            level0_table_limit=2,
+            level_size_multiplier=4,
+        )
+        assert store.level_budget_bytes(1) == (1 << 11) * 2
+        assert store.level_budget_bytes(2) == (1 << 11) * 2 * 4
+        assert store.level_budget_bytes(3) == (1 << 11) * 2 * 16
+
+    def test_multiplier_changes_compaction_cadence(self):
+        # a tight multiplier overflows deep levels quickly and compacts
+        # often; a loose one lets levels grow and compacts rarely
+        tight = self._run(multiplier=2)
+        loose = self._run(multiplier=16)
+        assert tight.stats.compactions > loose.stats.compactions
+        # both still bound the table count
+        assert tight.sst_count <= 6
+        assert loose.sst_count <= 6
+
+    def test_deep_level_overflow_cascades(self):
+        store = self._run(multiplier=2)
+        # with multiplier 2 the data outgrows levels 1..k in turn, so
+        # more than one level beyond L0 must have been populated
+        assert len(store.levels) > 2
+
+
+class TestReadDecodeHistogram:
+    """Satellite: ``read_decode_seconds`` is a bounded histogram whose
+    mean preserves the old all-reads list-mean semantics."""
+
+    def test_mean_counts_zero_latency_reads(self):
+        store = KVStore(memtable_bytes=1 << 12)
+        records = generate_kv_records(200, seed=6)
+        for key, value in records:
+            store.put(key, value)
+        store.flush()
+        store.get(records[50][0])       # SST hit: decode > 0
+        nonzero_mean = store.stats.mean_read_decode_seconds
+        store.put(b"hot", b"in memtable")
+        store.get(b"hot")               # memtable hit: decode == 0
+        store.get(b"missing-key")       # miss: decode == 0
+        # zeros must dilute the mean exactly like the old list did
+        assert store.stats.read_decode_seconds.count() == 3
+        diluted = store.stats.mean_read_decode_seconds
+        assert diluted == pytest.approx(nonzero_mean / 3, rel=1e-6)
+
+    def test_last_read_latency_tracked(self):
+        store = KVStore(memtable_bytes=1 << 12)
+        records = generate_kv_records(200, seed=6)
+        for key, value in records:
+            store.put(key, value)
+        store.flush()
+        store.get(records[50][0])
+        assert store.stats.last_read_decode_seconds > 0
+        store.get(b"missing-key")
+        assert store.stats.last_read_decode_seconds == 0.0
+
+    def test_memory_stays_bounded(self):
+        # the old implementation appended one float per read; the
+        # histogram stays at a fixed bucket count no matter the volume
+        store = KVStore(memtable_bytes=1 << 14)
+        store.put(b"k", b"v")
+        for __ in range(5000):
+            store.get(b"k")
+        hist = store.stats.read_decode_seconds
+        assert hist.count() == 5000
+        (series,) = hist._series.values()
+        assert len(series.buckets) < 100

@@ -1,0 +1,139 @@
+"""Newest-wins ordering across the LSM: memtable vs levels vs recovery.
+
+The invariant under test: wherever a key's versions live — memtable,
+several level-0 tables, a deep merged run, or the WAL tail after a
+crash — reads and scans must return the newest version, and a deleted
+key must stay deleted (no tombstone resurrection), including after
+``drop_tombstones`` compactions and crash-recovery reopens.
+"""
+
+from repro.services.kvstore import KVStore, SimStorage
+
+
+def _fill(store, n, tag, start=0):
+    for i in range(start, start + n):
+        store.put(f"key:{i:04d}".encode(), f"{tag} value {i:04d} ".encode() * 4)
+
+
+def _live(store):
+    return dict(store.scan_range(b"", b"\xff"))
+
+
+class TestNewestWins:
+    def test_memtable_overrides_all_levels(self):
+        store = KVStore(memtable_bytes=1 << 11, level0_table_limit=2)
+        _fill(store, 60, "old")  # several flushes + a compaction
+        store.put(b"key:0000", b"memtable wins")
+        assert store.get(b"key:0000") == b"memtable wins"
+        assert _live(store)[b"key:0000"] == b"memtable wins"
+
+    def test_newer_l0_table_overrides_older(self):
+        store = KVStore(memtable_bytes=1 << 11, level0_table_limit=4)
+        _fill(store, 20, "v1")
+        store.flush()
+        store.put(b"key:0005", b"v2 flushed later")
+        store.flush()
+        assert len(store.levels[0]) >= 2
+        assert store.get(b"key:0005") == b"v2 flushed later"
+        assert _live(store)[b"key:0005"] == b"v2 flushed later"
+
+    def test_l0_overrides_deep_levels_after_compaction(self):
+        store = KVStore(memtable_bytes=1 << 11, level0_table_limit=2)
+        _fill(store, 80, "deep")
+        store.flush()  # push everything into level >= 1
+        assert any(tables for tables in store.levels[1:])
+        store.put(b"key:0010", b"shallow update")
+        store.flush()
+        assert store.get(b"key:0010") == b"shallow update"
+
+    def test_every_version_history_converges(self):
+        # rewrite the same hot keys across flush/compaction boundaries;
+        # the final scan must agree with a plain dict replay
+        store = KVStore(memtable_bytes=1 << 11, level0_table_limit=2)
+        expected = {}
+        for round_no in range(6):
+            for i in range(24):
+                key = f"hot:{i:03d}".encode()
+                value = f"round {round_no} item {i:03d} ".encode() * 3
+                store.put(key, value)
+                expected[key] = value
+            store.flush()
+        assert _live(store) == expected
+        for key, value in expected.items():
+            assert store.get(key) == value
+
+
+class TestTombstones:
+    def test_delete_masks_flushed_value(self):
+        store = KVStore(memtable_bytes=1 << 11, level0_table_limit=4)
+        _fill(store, 20, "v1")
+        store.flush()
+        store.delete(b"key:0003")
+        assert store.get(b"key:0003") is None
+        assert b"key:0003" not in _live(store)
+        store.flush()  # tombstone now in its own L0 table above the value
+        assert store.get(b"key:0003") is None
+        assert b"key:0003" not in _live(store)
+
+    def test_no_resurrection_after_drop_tombstones(self):
+        # drive the tombstone all the way into the deepest level, where
+        # the merge drops it; the masked value below must not reappear
+        store = KVStore(memtable_bytes=1 << 11, level0_table_limit=2)
+        _fill(store, 60, "v1")
+        store.delete(b"key:0007")
+        _fill(store, 60, "filler", start=100)  # force compaction cascades
+        store.flush()
+        assert store.stats.compactions > 0
+        assert store.get(b"key:0007") is None
+        assert b"key:0007" not in _live(store)
+
+    def test_no_resurrection_after_crash_recovery_reopen(self):
+        storage = SimStorage(seed=13)
+        kwargs = dict(memtable_bytes=1 << 11, level0_table_limit=2)
+        store = KVStore.open(storage, **kwargs)
+        _fill(store, 60, "v1")
+        store.delete(b"key:0007")  # tombstone lives only in the WAL tail
+        storage.crash()
+        reopened = KVStore.open(storage, **kwargs)
+        assert reopened.get(b"key:0007") is None
+        assert b"key:0007" not in _live(reopened)
+        # and after the recovered tombstone itself gets flushed + merged
+        _fill(reopened, 60, "filler", start=100)
+        reopened.flush()
+        assert reopened.get(b"key:0007") is None
+        assert b"key:0007" not in _live(reopened)
+
+    def test_reput_after_delete_wins(self):
+        store = KVStore(memtable_bytes=1 << 11, level0_table_limit=2)
+        _fill(store, 40, "v1")
+        store.delete(b"key:0001")
+        store.flush()
+        store.put(b"key:0001", b"back from the dead")
+        assert store.get(b"key:0001") == b"back from the dead"
+        assert _live(store)[b"key:0001"] == b"back from the dead"
+
+
+class TestScanRange:
+    def test_bounds_are_half_open(self):
+        store = KVStore(memtable_bytes=1 << 14)
+        for key in (b"a", b"b", b"c", b"d"):
+            store.put(key, b"v-" + key)
+        got = [key for key, __ in store.scan_range(b"b", b"d")]
+        assert got == [b"b", b"c"]
+
+    def test_scan_merges_memtable_and_tables_sorted(self):
+        store = KVStore(memtable_bytes=1 << 11, level0_table_limit=4)
+        _fill(store, 30, "flushed")
+        store.flush()
+        store.put(b"key:0015a", b"memtable insert between keys")
+        keys = [key for key, __ in store.scan_range(b"key:0010", b"key:0020")]
+        assert keys == sorted(keys)
+        assert b"key:0015a" in keys
+        assert len(keys) == 11  # 0010..0019 plus the memtable insert
+
+    def test_deep_levels_hold_single_runs(self):
+        store = KVStore(memtable_bytes=1 << 11, level0_table_limit=2)
+        _fill(store, 120, "bulk")
+        store.flush()
+        for level, tables in enumerate(store.levels[1:], start=1):
+            assert len(tables) <= 1, f"level {level} fragmented"

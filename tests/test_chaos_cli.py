@@ -60,7 +60,10 @@ class TestScorecardFormat:
     def test_contains_every_scenario_line(self):
         report = run_chaos(plan="standard", seed=7, ops=0.25)
         text = format_scorecard(report)
-        for name in ["rpc", "cache", "kvstore", "farmem", "managed", "total"]:
+        for name in [
+            "rpc", "cache", "kvstore", "farmem", "managed", "serving",
+            "kvstore-crash", "total",
+        ]:
             assert name in text
         assert "plan 'standard', seed 7" in text
 
