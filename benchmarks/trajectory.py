@@ -183,6 +183,47 @@ def record_kvstore_metrics(path: Optional[str] = None) -> None:
     )
 
 
+def record_cluster_metrics(path: Optional[str] = None) -> None:
+    """Modeled fleet numbers for the sharded cluster simulator.
+
+    One seeded ``fleet-surge`` run at smoke scale: the diurnal peak
+    overloads the initial fleet, the autoscaler and rebalancer respond,
+    and the headline numbers (served volume, fleet p99, on-time goodput,
+    peak node count) are a pure function of (scenario, seed, scale).
+    """
+    from repro.cluster import run_cluster_simulation
+
+    report = run_cluster_simulation("fleet-surge", seed=7, scale=0.25)
+    record(
+        "cluster.sim.served",
+        float(report.served),
+        "requests",
+        higher_is_better=True,
+        path=path,
+    )
+    record(
+        "cluster.sim.fleet_p99_ms",
+        report.latency.p99(source="all") * 1e3,
+        "ms",
+        higher_is_better=False,
+        path=path,
+    )
+    record(
+        "cluster.sim.goodput_mbps",
+        report.goodput_bytes_per_second / 1e6,
+        "MB/s",
+        higher_is_better=True,
+        path=path,
+    )
+    record(
+        "cluster.sim.peak_nodes",
+        float(report.nodes_peak),
+        "nodes",
+        higher_is_better=False,
+        path=path,
+    )
+
+
 def regenerate(path: Optional[str] = None) -> str:
     """Recompute every deterministic entry; returns the path written."""
     target = path or trajectory_path()
@@ -190,6 +231,7 @@ def regenerate(path: Optional[str] = None) -> str:
     record_parallel_metrics(target)
     record_codec_metrics(target)
     record_kvstore_metrics(target)
+    record_cluster_metrics(target)
     return target
 
 

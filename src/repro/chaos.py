@@ -47,6 +47,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.cluster.node import ClusterNode, NodeConfig
+from repro.cluster.ring import HashRing
 from repro.codecs import get_codec
 from repro.faults import (
     CrashInjector,
@@ -601,6 +603,132 @@ def _run_serving(
     )
 
 
+def _run_cluster(
+    injector: FaultInjector, seed: int, count: int, recovery: Histogram
+) -> ScenarioResult:
+    """A small hash-ring cluster losing whole nodes mid-burst.
+
+    Each op routes one request over the ring to a shard. The plan's
+    ``node_loss`` spec decides, per op, whether a node dies with work
+    still queued; the dead node's queue is drained, every stranded
+    request is re-homed to its new ring owner (paying a modeled
+    re-fetch), the node leaves the ring, and a replacement joins. A
+    re-homed, degraded, or raw-fallback serve counts ``recovered``; a
+    request lost outright would be ``failed`` — the recovery invariant
+    says node loss must never lose an admitted request.
+    """
+    clock = SimClock()
+    tenants = ("interactive", "batch", "analytics")
+    payloads = [
+        f"cluster request {i:05d} tenant {tenants[i % 3]} "
+        f"compressible envelope body ".encode() * 24
+        for i in range(count)
+    ]
+    ladder = build_ladder(
+        payloads[: min(4, count)], algorithms=("zstd", "lz4"), levels=(1, 3)
+    )
+    # sized so nothing throttles or sheds: losses are the only fault here
+    config = NodeConfig(
+        workers=2,
+        capacity=256,
+        token_rate=1e9,
+        token_burst=1e9,
+        target_latency=10.0,
+    )
+    weights = {name: 1.0 for name in tenants}
+    ring = HashRing(vnodes=32, replicas=2)
+    nodes: Dict[str, ClusterNode] = {}
+    next_id = 0
+
+    def spawn() -> None:
+        nonlocal next_id
+        name = f"cnode-{next_id:02d}"
+        next_id += 1
+        ring.add_node(name)
+        nodes[name] = ClusterNode(
+            name, ladder, config, clock, tenant_weights=weights
+        )
+
+    for __ in range(4):
+        spawn()
+
+    ok = recovered = 0
+    outcomes: List[str] = []
+    rehomed: set = set()
+    losses = 0
+
+    def serve_all() -> None:
+        nonlocal ok, recovered
+        while True:
+            progressed = False
+            for name in sorted(nodes):
+                node = nodes[name]
+                for served in node.serve_batch(clock.now(), 2):
+                    progressed = True
+                    clock.advance(served.service_seconds)
+                    request = served.request
+                    if (
+                        request.request_id in rehomed
+                        or served.degraded
+                        or served.raw_fallback
+                    ):
+                        recovered += 1
+                        outcomes.append("recovered")
+                        _observe_recovery(
+                            recovery, "cluster", served.service_seconds
+                        )
+                    else:
+                        ok += 1
+                        outcomes.append("ok")
+            if not progressed:
+                break
+
+    burst = 8
+    for i in range(count):
+        for spec, rng in injector.decide("cluster.node"):
+            if spec.kind == "node_loss" and len(nodes) > 2:
+                victim = nodes.pop(rng.choice(sorted(nodes)))
+                ring.remove_node(victim.name)
+                losses += 1
+                spawn()
+                # drain the dead queue; every stranded request re-homes
+                # to its key's new ring owner at a modeled re-fetch cost
+                while True:
+                    stranded, expired = victim.gateway.queue.poll(clock.now())
+                    assert not expired  # no deadlines in this scenario
+                    if stranded is None:
+                        break
+                    rehomed.add(stranded.request_id)
+                    clock.advance(_refetch_seconds(stranded.size))
+                    owner = ring.primary(f"req:{stranded.request_id}")
+                    nodes[owner].submit(stranded)
+        request = ServingRequest(
+            request_id=i,
+            tenant=tenants[i % 3],
+            payload=payloads[i],
+            arrival=clock.now(),
+        )
+        nodes[ring.primary(f"req:{i}")].submit(request)
+        if (i + 1) % burst == 0:
+            serve_all()
+    serve_all()
+    failed = count - ok - recovered
+    outcomes.extend(["failed"] * failed)
+    return ScenarioResult(
+        "cluster-node-loss",
+        count,
+        ok,
+        recovered,
+        failed,
+        outcomes=outcomes,
+        notes={
+            "node_losses": losses,
+            "rehomed": len(rehomed),
+            "ring_nodes": len(ring),
+        },
+    )
+
+
 def _run_kvstore_crash(
     injector: FaultInjector, seed: int, count: int, recovery: Histogram
 ) -> ScenarioResult:
@@ -791,6 +919,7 @@ _SCENARIOS = (
     (_run_managed, 60),
     (_run_serving, 50),
     (_run_kvstore_crash, 40),
+    (_run_cluster, 48),
 )
 
 

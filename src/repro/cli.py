@@ -19,6 +19,9 @@ Commands:
   attached and print the window-by-window burn-rate/alert timeline
   (table or replayable JSONL); ``--max-page-seconds`` turns it into a
   CI gate.
+- ``cluster-sim`` -- run the sharded multi-node cluster simulator
+  (consistent-hash routing, per-shard gateways, autoscaler, rebalancer)
+  and print the per-shard + fleet scorecard; byte-identical per seed.
 - ``bench-diff`` -- compare two benchmark-trajectory files and fail on
   regressions beyond tolerance.
 """
@@ -345,6 +348,46 @@ def _cmd_slo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_sim(args: argparse.Namespace) -> int:
+    from repro.cluster import format_cluster_scorecard, run_cluster_simulation
+
+    report = run_cluster_simulation(
+        scenario=args.scenario,
+        seed=args.seed,
+        scale=args.scale,
+        jobs=args.jobs,
+        autoscale=False if args.no_autoscale else None,
+        rebalance=False if args.no_rebalance else None,
+    )
+    print(format_cluster_scorecard(report))
+    # Gate verdicts go to stderr so stdout stays a pure, diffable
+    # scorecard for the determinism checks.
+    if report.shed_rate() > args.max_shed_rate:
+        print(
+            f"\nFAIL: shed rate {report.shed_rate() * 100:.2f}% exceeds "
+            f"--max-shed-rate {args.max_shed_rate * 100:.2f}%",
+            file=sys.stderr,
+        )
+        return 1
+    if report.served < args.min_served:
+        print(
+            f"\nFAIL: only {report.served} requests served "
+            f"(--min-served {args.min_served})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.max_page_seconds is not None:
+        page_seconds = report.total_page_seconds()
+        if page_seconds > args.max_page_seconds:
+            print(
+                f"\nFAIL: {page_seconds:.3f} page-seconds exceeds "
+                f"--max-page-seconds {args.max_page_seconds:.3f}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
     from repro.trajectory import (
         compare_trajectories,
@@ -585,6 +628,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if total PAGE-state seconds exceed this (CI gate)",
     )
     slo.set_defaults(func=_cmd_slo)
+
+    cluster = sub.add_parser(
+        "cluster-sim",
+        help="simulate the sharded multi-node cluster with autoscaling",
+    )
+    from repro.cluster.simulate import CLUSTER_SCENARIOS
+
+    cluster.add_argument(
+        "--scenario", default="fleet-surge", choices=sorted(CLUSTER_SCENARIOS)
+    )
+    cluster.add_argument("--seed", type=int, default=7)
+    cluster.add_argument(
+        "--scale", type=float, default=1.0,
+        help="scale factor on the scenario duration (30 = ~1e5 requests)",
+    )
+    cluster.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes shared by all shards (1 = in-process "
+        "with the fleet codec cache; outputs are identical either way)",
+    )
+    cluster.add_argument(
+        "--no-autoscale", action="store_true",
+        help="freeze the node count at the scenario's initial fleet",
+    )
+    cluster.add_argument(
+        "--no-rebalance", action="store_true",
+        help="disable hot-tenant migration",
+    )
+    cluster.add_argument(
+        "--max-shed-rate", type=float, default=1.0,
+        help="exit 1 if the fleet shed fraction exceeds this (0..1)",
+    )
+    cluster.add_argument(
+        "--min-served", type=int, default=0,
+        help="exit 1 unless at least this many requests were served",
+    )
+    cluster.add_argument(
+        "--max-page-seconds", type=float, default=None,
+        help="exit 1 if total PAGE-state seconds exceed this (CI gate)",
+    )
+    cluster.set_defaults(func=_cmd_cluster_sim)
 
     bench_diff = sub.add_parser(
         "bench-diff",

@@ -1,0 +1,796 @@
+"""Deterministic discrete-event simulation of the sharded cluster.
+
+This extends the single-node simulator (:mod:`repro.serving.simulate`)
+to a fleet: one seeded :class:`~repro.serving.workload.WorkloadGenerator`
+feeds a consistent-hash :class:`~repro.cluster.ring.HashRing` routing
+tenants to :class:`~repro.cluster.node.ClusterNode` shards, all advanced
+by one event heap over one :class:`~repro.resilience.clock.SimClock`.
+Per-shard telemetry windows fold into fleet windows by index
+(:func:`repro.obs.rollup.merge_shard_windows`), the fleet SLOs (shed
+rate, p99 latency) evaluate on the fold, and two control loops act on
+the same signals the alert plane reads:
+
+- the :class:`~repro.cluster.autoscaler.Autoscaler` adds nodes under
+  queue pressure / p99 burn and drains the least-loaded node when the
+  fleet idles — a drained node leaves the ring immediately but serves
+  its queue to empty before retiring, so scale-down never strands an
+  admitted request;
+- the :class:`~repro.cluster.rebalance.Rebalancer` migrates a tenant
+  that dominates a pressured shard onto the coldest nodes, moving only
+  that tenant's keys.
+
+Everything is modeled time; the same ``(scenario, seed, scale)``
+renders a byte-identical scorecard across runs *and* across ``--jobs``
+(the memoized in-process codec path and the executor path produce
+identical outputs — CI diffs them). ``scale`` multiplies duration:
+the default scenarios run a few thousand requests, ``--scale 30`` takes
+the same scenario to O(10⁵) requests across tens of nodes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.rollup import merge_shard_windows
+from repro.obs.slo import (
+    PAGE,
+    SLO,
+    AlertTransition,
+    SLOEvaluator,
+    WARN,
+)
+from repro.obs.timeseries import WindowSnapshot, merge_windows
+from repro.parallel.executors import make_executor
+from repro.resilience.clock import SimClock
+from repro.serving.degrade import DegradationLadder
+from repro.serving.queue import ServingRequest
+from repro.serving.simulate import DEFAULT_WINDOW_SECONDS, build_scenario_ladder
+from repro.serving.slos import (
+    ALL_TENANTS,
+    WINDOW_LATENCY,
+    latency_p99_slo,
+    record_window_completion,
+    shed_rate_slo,
+)
+from repro.serving.workload import TenantSpec, WorkloadGenerator, tenants_from_fleet
+from repro.cluster.autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
+from repro.cluster.node import (
+    ACTIVE,
+    DRAINING,
+    RETIRED,
+    ClusterNode,
+    CodecCache,
+    NodeConfig,
+    memo_codec_factory,
+)
+from repro.cluster.rebalance import (
+    RebalanceEvent,
+    Rebalancer,
+    RebalancerConfig,
+    TenantRouter,
+)
+from repro.cluster.ring import HashRing
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One named fleet-level load shape."""
+
+    name: str
+    description: str
+    rate_rps: float
+    duration_seconds: float
+    initial_nodes: int
+    node: NodeConfig = NodeConfig()
+    process: str = "poisson"
+    diurnal_amplitude: float = 0.6
+    #: ring shape
+    vnodes: int = 64
+    replicas: int = 2
+    #: control-loop tick spacing, simulated seconds
+    control_interval_seconds: float = 0.25
+    autoscale: bool = True
+    autoscaler: AutoscalerConfig = AutoscalerConfig()
+    rebalance: bool = False
+    rebalancer: RebalancerConfig = RebalancerConfig()
+    #: multiply the heaviest tenant's weight by this (1.0 = natural mix)
+    hot_tenant_boost: float = 1.0
+    #: distinct payloads per tenant (the codec-cache working set)
+    payload_pool: int = 48
+    #: clamp on tenant median payload bytes — the cache makes request
+    #: *count* cheap but every distinct pool payload is compressed for
+    #: real, so fleet scenarios keep the working set modest
+    payload_median_cap: int = 4096
+    #: fleet SLO objectives
+    shed_budget: float = 0.002
+    latency_p99_seconds: float = 0.25
+    categories: Tuple[str, ...] = ("Cache", "Key-Value Store", "Web", "Ads")
+
+
+CLUSTER_SCENARIOS: Dict[str, ClusterScenario] = {
+    "fleet-steady": ClusterScenario(
+        name="fleet-steady",
+        description="comfortable fleet headroom; autoscaler may trim idle nodes",
+        rate_rps=300.0,
+        duration_seconds=6.0,
+        initial_nodes=8,
+        autoscaler=AutoscalerConfig(min_nodes=4, max_nodes=12),
+    ),
+    "fleet-surge": ClusterScenario(
+        name="fleet-surge",
+        description="diurnal swing whose peak overloads the initial fleet",
+        rate_rps=600.0,
+        duration_seconds=8.0,
+        initial_nodes=4,
+        process="diurnal",
+        diurnal_amplitude=0.85,
+        # contended hosts: the initial fleet covers the base rate with
+        # ~55% headroom but the diurnal peak (~1110 rps) exceeds it
+        node=NodeConfig(service_scale=1000.0),
+        rebalance=True,
+        rebalancer=RebalancerConfig(hot_share=0.4, pressure_floor=0.4),
+        autoscaler=AutoscalerConfig(
+            min_nodes=3,
+            max_nodes=16,
+            # act on queue growth early enough that short-deadline
+            # tenants are not already expiring (expiry counts against
+            # the shed-rate budget) — see the scale-before-page test
+            up_pressure=0.25,
+            down_pressure=0.08,
+            down_after=8,
+            step_up=2,
+        ),
+        shed_budget=0.01,
+    ),
+    "fleet-hotspot": ClusterScenario(
+        name="fleet-hotspot",
+        description="one tenant dominates; the rebalancer spreads it",
+        rate_rps=520.0,
+        duration_seconds=6.0,
+        initial_nodes=6,
+        node=NodeConfig(service_scale=1000.0),
+        hot_tenant_boost=6.0,
+        rebalance=True,
+        rebalancer=RebalancerConfig(hot_share=0.4, pressure_floor=0.4),
+        autoscale=False,
+        autoscaler=AutoscalerConfig(min_nodes=4, max_nodes=16),
+        shed_budget=0.01,
+    ),
+}
+
+
+@dataclass
+class ShardReport:
+    """One node's line in the scorecard."""
+
+    name: str
+    status: str
+    created_at: float
+    retired_at: Optional[float]
+    routed: int
+    admitted: int
+    throttled: int
+    shed: int
+    expired: int
+    served: int
+    degraded: int
+    raw_fallbacks: int
+    bytes_in: int
+    bytes_out: int
+    peak_depth: int
+    p99_ms: Optional[float]
+
+
+@dataclass
+class ClusterReport:
+    """Everything one cluster run learned."""
+
+    scenario: str
+    seed: int
+    scale: float
+    window_seconds: float
+    autoscale_enabled: bool
+    rebalance_enabled: bool
+    ladder_labels: List[str]
+    rung0_ratio: float
+    nodes_initial: int
+    nodes_peak: int = 0
+    nodes_final_active: int = 0
+    # -- fleet traffic --
+    arrivals: int = 0
+    admitted: int = 0
+    throttled: int = 0
+    shed: int = 0
+    expired: int = 0
+    served: int = 0
+    on_time: int = 0
+    tardy: int = 0
+    degraded: int = 0
+    raw_fallbacks: int = 0
+    bytes_in_served: int = 0
+    bytes_out: int = 0
+    bytes_on_time: int = 0
+    makespan_seconds: float = 0.0
+    # -- distributions (one-shot fleet recording, label ``source``) --
+    latency: Histogram = field(
+        default_factory=lambda: Histogram(
+            "cluster_latency_seconds", "end-to-end request latency"
+        )
+    )
+    wait: Histogram = field(
+        default_factory=lambda: Histogram(
+            "cluster_wait_seconds", "queue wait before dispatch"
+        )
+    )
+    # -- per shard / control planes --
+    shards: List[ShardReport] = field(default_factory=list)
+    scale_events: List[ScaleEvent] = field(default_factory=list)
+    rebalance_events: List[RebalanceEvent] = field(default_factory=list)
+    # -- the fleet SLO fold --
+    fleet_windows: int = 0
+    final_states: Dict[str, str] = field(default_factory=dict)
+    page_seconds: Dict[str, float] = field(default_factory=dict)
+    warn_seconds: Dict[str, float] = field(default_factory=dict)
+    transitions: List[AlertTransition] = field(default_factory=list)
+    #: the merged fleet registry (every fleet window folded together)
+    fleet_registry: Optional[MetricsRegistry] = None
+    #: codec cache traffic (jobs=1 memo path only; not in the scorecard
+    #: because the executor path legitimately bypasses the cache)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def goodput_bytes_per_second(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.bytes_on_time / self.makespan_seconds
+
+    @property
+    def achieved_ratio(self) -> float:
+        if not self.bytes_out:
+            return 1.0 if not self.bytes_in_served else float("inf")
+        return self.bytes_in_served / self.bytes_out
+
+    def shed_rate(self) -> float:
+        offered = self.admitted + self.throttled + self.shed
+        unserved = self.throttled + self.shed + self.expired
+        return unserved / offered if offered else 0.0
+
+    def total_page_seconds(self) -> float:
+        return sum(self.page_seconds.values())
+
+    def first_page_at(self) -> Optional[float]:
+        for transition in self.transitions:
+            if transition.to_state == PAGE:
+                return transition.at
+        return None
+
+    def first_scale_up_at(self) -> Optional[float]:
+        for event in self.scale_events:
+            if event.action == Autoscaler.UP:
+                return event.at
+        return None
+
+
+def cluster_slos(shed_budget: float, latency_bound: float) -> List[SLO]:
+    """The fleet objectives, evaluated over merged shard windows."""
+    return [shed_rate_slo(shed_budget), latency_p99_slo(latency_bound)]
+
+
+def _resolve_scenario(scenario) -> ClusterScenario:
+    if isinstance(scenario, ClusterScenario):
+        return scenario
+    try:
+        return CLUSTER_SCENARIOS[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown cluster scenario {scenario!r}; "
+            f"available: {sorted(CLUSTER_SCENARIOS)}"
+        )
+
+
+def _cluster_tenants(sc: ClusterScenario) -> List[TenantSpec]:
+    tenants = tenants_from_fleet(
+        sc.categories, max_median_bytes=sc.payload_median_cap
+    )
+    if sc.hot_tenant_boost <= 1.0:
+        return tenants
+    hottest = max(tenants, key=lambda t: (t.weight, t.name))
+    boosted = [
+        TenantSpec(
+            t.name,
+            t.weight * sc.hot_tenant_boost if t.name == hottest.name else t.weight,
+            t.median_bytes,
+            t.sigma,
+            t.deadline_seconds,
+            t.corpus,
+        )
+        for t in tenants
+    ]
+    total = sum(t.weight for t in boosted)
+    return [
+        TenantSpec(
+            t.name, t.weight / total, t.median_bytes, t.sigma,
+            t.deadline_seconds, t.corpus,
+        )
+        for t in boosted
+    ]
+
+
+def _fleet_p99_burn(
+    fleet_windows: Sequence[WindowSnapshot], bound: float, last: int = 4
+) -> Optional[float]:
+    if not fleet_windows:
+        return None
+    merged = merge_windows(fleet_windows[-last:])
+    hist = merged.get(WINDOW_LATENCY)
+    if not isinstance(hist, Histogram) or not hist.count(tenant=ALL_TENANTS):
+        return None
+    return hist.percentile(99, tenant=ALL_TENANTS) / bound
+
+
+def run_cluster_simulation(
+    scenario="fleet-surge",
+    seed: int = 7,
+    scale: float = 1.0,
+    jobs: int = 1,
+    autoscale: Optional[bool] = None,
+    rebalance: Optional[bool] = None,
+    window_seconds: float = DEFAULT_WINDOW_SECONDS,
+) -> ClusterReport:
+    """Run one cluster scenario end to end; returns the full report.
+
+    ``autoscale`` / ``rebalance`` override the scenario's control-loop
+    switches (None = scenario default). ``jobs`` sizes a fleet-shared
+    executor; ``jobs=1`` (the default) instead routes compression
+    through the fleet codec cache in-process — both paths produce
+    byte-identical scorecards, a property the determinism tests and the
+    CI smoke diff.
+    """
+    sc = _resolve_scenario(scenario)
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
+    autoscale_on = sc.autoscale if autoscale is None else autoscale
+    rebalance_on = sc.rebalance if rebalance is None else rebalance
+
+    tenants = _cluster_tenants(sc)
+    workload = WorkloadGenerator(
+        tenants=tenants,
+        rate_rps=sc.rate_rps,
+        duration_seconds=sc.duration_seconds * scale,
+        seed=seed,
+        process=sc.process,
+        diurnal_amplitude=sc.diurnal_amplitude,
+        payload_pool=sc.payload_pool,
+    )
+    requests = workload.generate()
+    ladder: DegradationLadder = build_scenario_ladder(requests)
+    tenant_names = [t.name for t in tenants]
+    tenant_weights = workload.tenant_weights()
+
+    clock = SimClock()
+    cache = CodecCache()
+    if jobs == 1:
+        codec_factory = memo_codec_factory(cache)
+        executor = None
+    else:
+        codec_factory = None
+        executor = make_executor(jobs)
+
+    ring = HashRing(vnodes=sc.vnodes, replicas=sc.replicas)
+    router = TenantRouter(ring)
+    nodes: Dict[str, ClusterNode] = {}
+    next_node_id = 0
+
+    def spawn_node(at: float) -> ClusterNode:
+        nonlocal next_node_id
+        name = f"node-{next_node_id:02d}"
+        next_node_id += 1
+        ring.add_node(name)
+        node = ClusterNode(
+            name,
+            ladder,
+            sc.node,
+            clock,
+            tenant_weights=tenant_weights,
+            window_seconds=window_seconds,
+            codec_factory=codec_factory,
+            executor=executor,
+            created_at=at,
+        )
+        nodes[name] = node
+        return node
+
+    for __ in range(sc.initial_nodes):
+        spawn_node(0.0)
+
+    autoscaler = Autoscaler(sc.autoscaler) if autoscale_on else None
+    rebalancer = (
+        Rebalancer(router, sc.rebalancer) if rebalance_on else None
+    )
+
+    report = ClusterReport(
+        scenario=sc.name,
+        seed=seed,
+        scale=scale,
+        window_seconds=window_seconds,
+        autoscale_enabled=autoscale_on,
+        rebalance_enabled=rebalance_on,
+        ladder_labels=ladder.labels(),
+        rung0_ratio=ladder.rungs[0].ratio,
+        nodes_initial=sc.initial_nodes,
+        nodes_peak=sc.initial_nodes,
+        arrivals=len(requests),
+    )
+
+    # -- the fleet SLO fold: merge per-shard windows by index ----------------
+    evaluator = SLOEvaluator(
+        cluster_slos(sc.shed_budget, sc.latency_p99_seconds)
+    )
+    fleet_windows: List[WindowSnapshot] = []
+    fleet_index = 0
+
+    def fold_fleet_windows(now: float) -> None:
+        """Fold every fleet window ``now`` has fully passed. All node
+        recorders share the epoch and were advanced to ``now`` first, so
+        each closed index exists on every live node."""
+        nonlocal fleet_index
+        while (fleet_index + 1) * window_seconds <= now:
+            slices = [
+                node.windows[fleet_index]
+                for __, node in sorted(nodes.items())
+                if len(node.windows) > fleet_index
+            ]
+            if not slices:
+                break
+            merged = merge_shard_windows([slices])[0]
+            fleet_windows.append(merged)
+            edges = evaluator.on_window(fleet_windows, merged.end)
+            report.transitions.extend(edges)
+            fleet_index += 1
+
+    # -- the event heap: (time, priority, seq, kind, payload) ----------------
+    # completions (0) before arrivals (1) before control ticks (2) at the
+    # same instant, so a control decision sees that instant's settled state
+    events: List[Tuple[float, int, int, str, object]] = []
+    seq = 0
+    for request in requests:
+        events.append((request.arrival, 1, seq, "arrival", request))
+        seq += 1
+    horizon = sc.duration_seconds * scale
+    tick = sc.control_interval_seconds
+    ticks = 1
+    while ticks * tick <= horizon + 4 * tick:
+        events.append((ticks * tick, 2, seq, "control", None))
+        seq += 1
+        ticks += 1
+    heapq.heapify(events)
+    last_event_at = 0.0
+    #: per-tick routed volume per node per tenant (the rebalance signal)
+    routed_delta: Dict[str, Dict[str, int]] = {}
+
+    def dispatch(node: ClusterNode, now: float) -> None:
+        nonlocal seq
+        if node.status == RETIRED:
+            return
+        width = node.dispatch_width()
+        if width <= 0:
+            return
+        for served in node.serve_batch(now, width):
+            done_at = now + served.service_seconds
+            heapq.heappush(
+                events, (done_at, 0, seq, "done", (node.name, served))
+            )
+            seq += 1
+            node.busy += 1
+
+    def advance_all(now: float) -> None:
+        for __, node in sorted(nodes.items()):
+            node.advance_windows(now)
+        fold_fleet_windows(now)
+
+    def control_tick(now: float) -> None:
+        active = [
+            node for __, node in sorted(nodes.items())
+            if node.status == ACTIVE
+        ]
+        pressures = [node.pressure for node in active]
+        burn = _fleet_p99_burn(fleet_windows, sc.latency_p99_seconds)
+        if rebalancer is not None:
+            moved = rebalancer.observe(
+                now,
+                routed_delta,
+                {node.name: node.pressure for node in active},
+                [node.name for node in active],
+            )
+            report.rebalance_events.extend(moved)
+        routed_delta.clear()
+        if autoscaler is not None:
+            decision = autoscaler.observe(
+                now, len(active), pressures, burn
+            )
+            if decision == Autoscaler.UP:
+                before = router.assignments(tenant_names)
+                added: List[str] = []
+                for __ in range(sc.autoscaler.step_up):
+                    if len(active) + len(added) >= sc.autoscaler.max_nodes:
+                        break
+                    added.append(spawn_node(now).name)
+                moved_tenants = sum(
+                    1
+                    for t in tenant_names
+                    if router.replica_set(t) != before[t]
+                )
+                count = len(
+                    [n for n in nodes.values() if n.status == ACTIVE]
+                )
+                report.nodes_peak = max(report.nodes_peak, count)
+                mean = sum(pressures) / len(pressures) if pressures else 0.0
+                report.scale_events.append(
+                    ScaleEvent(
+                        at=now,
+                        action=Autoscaler.UP,
+                        node="+".join(added),
+                        nodes_after=count,
+                        reason=(
+                            f"pressure {mean:.2f}, "
+                            f"burn {'-' if burn is None else f'{burn:.2f}'}"
+                        ),
+                        moved_tenants=moved_tenants,
+                    )
+                )
+            elif decision == Autoscaler.DOWN:
+                # drain the least-loaded active node
+                victim = min(
+                    active, key=lambda n: (n.queued() + n.busy, n.name)
+                )
+                before = router.assignments(tenant_names)
+                victim.start_drain(now)
+                ring.remove_node(victim.name)
+                router.drop_node(victim.name, tenant_names)
+                moved_tenants = sum(
+                    1
+                    for t in tenant_names
+                    if router.replica_set(t) != before[t]
+                )
+                count = len(
+                    [n for n in nodes.values() if n.status == ACTIVE]
+                )
+                mean = sum(pressures) / len(pressures) if pressures else 0.0
+                report.scale_events.append(
+                    ScaleEvent(
+                        at=now,
+                        action=Autoscaler.DOWN,
+                        node=victim.name,
+                        nodes_after=count,
+                        reason=(
+                            f"pressure {mean:.2f}, "
+                            f"burn {'-' if burn is None else f'{burn:.2f}'}"
+                        ),
+                        moved_tenants=moved_tenants,
+                    )
+                )
+        # retire drained nodes that have gone idle
+        for __, node in sorted(nodes.items()):
+            if node.status == DRAINING and node.idle():
+                node.retire(now)
+
+    while events:
+        at, __, __, kind, payload = heapq.heappop(events)
+        if at > clock.now():
+            clock.advance(at - clock.now())
+        advance_all(at)
+        last_event_at = max(last_event_at, at)
+        if kind == "arrival":
+            request: ServingRequest = payload
+            target = router.route(request.tenant, request.request_id)
+            node = nodes[target]
+            routed_delta.setdefault(target, {})
+            routed_delta[target][request.tenant] = (
+                routed_delta[target].get(request.tenant, 0) + 1
+            )
+            node.submit(request)
+            dispatch(node, clock.now())
+        elif kind == "done":
+            node_name, served = payload
+            node = nodes[node_name]
+            node.busy -= 1
+            latency = at - served.request.arrival
+            on_time = at <= served.request.deadline
+            node.controller.limiter.on_complete(latency)
+            report.latency.observe(latency, source="all")
+            report.latency.observe(latency, source=served.request.tenant)
+            report.wait.observe(served.wait_seconds, source="all")
+            if on_time:
+                report.on_time += 1
+                report.bytes_on_time += served.request.size
+            else:
+                report.tardy += 1
+            if node.recorder is not None:
+                record_window_completion(
+                    node.recorder.registry(),
+                    served.request.tenant,
+                    latency,
+                    served.wait_seconds,
+                    on_time=on_time,
+                    bytes_in=served.request.size,
+                )
+            dispatch(node, clock.now())
+        else:
+            control_tick(at)
+            for __, node in sorted(nodes.items()):
+                dispatch(node, clock.now())
+    if executor is not None:
+        executor.close()
+
+    # -- tail: flush partial windows, fold what remains ----------------------
+    advance_all(last_event_at)
+    for __, node in sorted(nodes.items()):
+        node.flush_windows()
+    remaining: Dict[int, List[WindowSnapshot]] = {}
+    for __, node in sorted(nodes.items()):
+        for window in node.windows[fleet_index:]:
+            remaining.setdefault(window.index, []).append(window)
+    for index in sorted(remaining):
+        merged = merge_shard_windows([remaining[index]])[0]
+        fleet_windows.append(merged)
+        edges = evaluator.on_window(fleet_windows, merged.end)
+        report.transitions.extend(edges)
+    end_at = fleet_windows[-1].end if fleet_windows else last_event_at
+    evaluator.finish(end_at)
+    # retire any still-idle drained node so the final census is honest
+    for __, node in sorted(nodes.items()):
+        if node.status == DRAINING and node.idle():
+            node.retire(last_event_at)
+
+    report.final_states = evaluator.states()
+    report.page_seconds = evaluator.seconds_in(PAGE)
+    report.warn_seconds = evaluator.seconds_in(WARN)
+    report.fleet_windows = len(fleet_windows)
+    report.fleet_registry = merge_windows(fleet_windows)
+    report.makespan_seconds = last_event_at
+    report.cache_hits = cache.hits
+    report.cache_misses = cache.misses
+    report.nodes_final_active = len(
+        [n for n in nodes.values() if n.status == ACTIVE]
+    )
+    report.nodes_peak = max(
+        report.nodes_peak,
+        len([n for n in nodes.values() if n.status != RETIRED]),
+    )
+
+    for __, node in sorted(nodes.items()):
+        stats = node.gateway.stats
+        merged = merge_windows(node.windows)
+        hist = merged.get(WINDOW_LATENCY)
+        p99 = (
+            hist.percentile(99, tenant=ALL_TENANTS) * 1e3
+            if isinstance(hist, Histogram) and hist.count(tenant=ALL_TENANTS)
+            else None
+        )
+        report.shards.append(
+            ShardReport(
+                name=node.name,
+                status=node.status,
+                created_at=node.created_at,
+                retired_at=node.retired_at,
+                routed=node.routed,
+                admitted=stats.admitted,
+                throttled=stats.throttled,
+                shed=stats.shed,
+                expired=stats.expired,
+                served=stats.served,
+                degraded=stats.degraded,
+                raw_fallbacks=stats.raw_fallbacks,
+                bytes_in=stats.bytes_in_served,
+                bytes_out=stats.bytes_out,
+                peak_depth=node.peak_depth,
+                p99_ms=p99,
+            )
+        )
+        report.admitted += stats.admitted
+        report.throttled += stats.throttled
+        report.shed += stats.shed
+        report.expired += stats.expired
+        report.served += stats.served
+        report.degraded += stats.degraded
+        report.raw_fallbacks += stats.raw_fallbacks
+        report.bytes_in_served += stats.bytes_in_served
+        report.bytes_out += stats.bytes_out
+    return report
+
+
+def _fmt_opt_ms(value: Optional[float]) -> str:
+    return "-".rjust(8) if value is None else f"{value:8.2f}"
+
+
+def format_cluster_scorecard(report: ClusterReport) -> str:
+    """Render the report; byte-identical for identical reports."""
+    lines = [
+        f"cluster scorecard -- scenario '{report.scenario}', "
+        f"seed {report.seed}, scale {report.scale:g}, "
+        f"autoscaler {'on' if report.autoscale_enabled else 'off'}, "
+        f"rebalancer {'on' if report.rebalance_enabled else 'off'}",
+        "",
+        f"ladder: {' -> '.join(report.ladder_labels)}",
+        f"nodes:  initial {report.nodes_initial}, peak {report.nodes_peak}, "
+        f"final active {report.nodes_final_active}",
+        "",
+        f"{'arrivals':>10s} {'admitted':>9s} {'throttled':>9s} {'shed':>6s} "
+        f"{'expired':>8s} {'served':>7s} {'on-time':>8s} {'tardy':>6s}",
+        f"{report.arrivals:10d} {report.admitted:9d} {report.throttled:9d} "
+        f"{report.shed:6d} {report.expired:8d} {report.served:7d} "
+        f"{report.on_time:8d} {report.tardy:6d}",
+        "",
+    ]
+    for name, hist in (("latency", report.latency), ("queue wait", report.wait)):
+        if hist.count(source="all"):
+            lines.append(
+                f"{name:10s} p50={hist.p50(source='all') * 1e3:9.3f} ms  "
+                f"p90={hist.p90(source='all') * 1e3:9.3f} ms  "
+                f"p99={hist.p99(source='all') * 1e3:9.3f} ms"
+            )
+    lines.append(
+        f"goodput    {report.goodput_bytes_per_second / 1e6:.3f} MB/s on-time "
+        f"({report.bytes_on_time} bytes in {report.makespan_seconds:.3f} s), "
+        f"shed rate {report.shed_rate() * 100:.2f}%"
+    )
+    lines.append(
+        f"ratio      achieved {report.achieved_ratio:.3f} "
+        f"(rung-0 reference {report.rung0_ratio:.3f}); "
+        f"degraded {report.degraded}, raw fallbacks {report.raw_fallbacks}"
+    )
+    lines.append("")
+    lines.append(
+        f"{'shard':9s} {'status':>8s} {'routed':>7s} {'admit':>6s} "
+        f"{'shed':>5s} {'exp':>4s} {'served':>7s} {'degr':>5s} "
+        f"{'p99 ms':>8s} {'peak-q':>6s}"
+    )
+    for shard in report.shards:
+        lines.append(
+            f"{shard.name:9s} {shard.status:>8s} {shard.routed:7d} "
+            f"{shard.admitted:6d} {shard.shed:5d} {shard.expired:4d} "
+            f"{shard.served:7d} {shard.degraded:5d} "
+            f"{_fmt_opt_ms(shard.p99_ms)} {shard.peak_depth:6d}"
+        )
+    if report.scale_events:
+        lines.append("")
+        lines.append("autoscaler events:")
+        for event in report.scale_events:
+            lines.append(
+                f"  {event.at:7.3f} s  scale-{event.action} {event.node} "
+                f"-> {event.nodes_after} active ({event.reason}); "
+                f"moved {event.moved_tenants} tenants"
+            )
+    if report.rebalance_events:
+        lines.append("")
+        lines.append("rebalance events:")
+        for event in report.rebalance_events:
+            lines.append(
+                f"  {event.at:7.3f} s  {event.tenant}: "
+                f"{'+'.join(event.from_nodes)} -> {'+'.join(event.to_nodes)} "
+                f"({event.reason})"
+            )
+    lines.append("")
+    final = " ".join(
+        f"{name}={state}"
+        for name, state in sorted(report.final_states.items())
+    )
+    lines.append(
+        f"slo: final states {final or 'ok'}; "
+        f"page {report.total_page_seconds():.3f} s "
+        f"(warn {sum(report.warn_seconds.values()):.3f} s) "
+        f"over {report.fleet_windows} fleet windows"
+    )
+    for transition in report.transitions:
+        lines.append(
+            f"  ! {transition.at:.3f} s  {transition.slo}: "
+            f"{transition.from_state} -> {transition.to_state} "
+            f"({transition.reason})"
+        )
+    return "\n".join(lines)

@@ -39,7 +39,15 @@ from repro.obs.instrument import record_fault_injected
 from repro.obs.state import OBS_STATE
 
 PAYLOAD_KINDS = ("bit_flip", "truncate", "garbage")
-KINDS = PAYLOAD_KINDS + ("drop", "latency", "fail", "slow", "dict_loss", "crash")
+KINDS = PAYLOAD_KINDS + (
+    "drop",
+    "latency",
+    "fail",
+    "slow",
+    "dict_loss",
+    "crash",
+    "node_loss",
+)
 
 
 @dataclass(frozen=True)
@@ -98,6 +106,7 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
             FaultSpec("kvstore.durable", "crash", 0.10),
             FaultSpec("kvstore.sync", "drop", 0.05),
             FaultSpec("managed.dictionary", "dict_loss", 0.10),
+            FaultSpec("cluster.node", "node_loss", 0.08),
         ),
     ),
     "network": FaultPlan(

@@ -118,6 +118,33 @@ def _latency_p99(registry: MetricsRegistry, tenant: str) -> Optional[float]:
     return hist.percentile(99, tenant=tenant)
 
 
+def window_tenants(registry: MetricsRegistry) -> List[str]:
+    """Every tenant with any footprint in the window, sorted.
+
+    Discovery must span *all* tenant-labeled series, not just arrival
+    verdicts: on a multi-shard fleet a request's completion can land
+    windows after its admission, and a tenant whose replicas finished
+    work admitted earlier would otherwise vanish from the drilldown for
+    that window (its latency silently folded into ``_all``). Counters
+    expose ``samples()``; histograms only ``label_keys()``.
+    """
+    names = set()
+    for counter_name in (WINDOW_VERDICTS, WINDOW_SERVED, WINDOW_RAW):
+        metric = registry.get(counter_name)
+        if metric is not None:
+            for key, __ in metric.samples():
+                tenant = dict(key).get("tenant")
+                if tenant and tenant != ALL_TENANTS:
+                    names.add(tenant)
+    hist = registry.get(WINDOW_LATENCY)
+    if isinstance(hist, Histogram):
+        for key in hist.label_keys():
+            tenant = dict(key).get("tenant")
+            if tenant and tenant != ALL_TENANTS:
+                names.add(tenant)
+    return sorted(names)
+
+
 def _ratio_lost(registry: MetricsRegistry, rung0_ratio: float) -> Optional[float]:
     """Window-local form of ``ServingReport.ratio_lost_to_degradation``."""
     bytes_out = metric_total(registry, WINDOW_BYTES, kind="out")
@@ -187,33 +214,49 @@ class GoodputSLO(SLO):
         return self.floor / goodput
 
 
+def shed_rate_slo(budget: float) -> EventRateSLO:
+    """The shed-rate objective over the window verdict schema.
+
+    Shared by the single-node timeline and the cluster's fleet rollup —
+    on merged shard windows the counters simply add, because every
+    verdict is recorded on exactly one shard.
+    """
+    return EventRateSLO(
+        "shed_rate",
+        bad=lambda reg: (
+            metric_total(reg, WINDOW_VERDICTS, verdict="throttle")
+            + metric_total(reg, WINDOW_VERDICTS, verdict="shed")
+            + metric_total(reg, WINDOW_VERDICTS, verdict="expired")
+        ),
+        total=lambda reg: (
+            metric_total(reg, WINDOW_VERDICTS, verdict="admit")
+            + metric_total(reg, WINDOW_VERDICTS, verdict="throttle")
+            + metric_total(reg, WINDOW_VERDICTS, verdict="shed")
+        ),
+        budget=budget,
+        description="offered requests refused or dropped on deadline",
+    )
+
+
+def latency_p99_slo(bound_seconds: float) -> BoundSLO:
+    """The p99 latency bound over the window latency histogram; merged
+    shard histograms fold losslessly, so the fleet reading is exact."""
+    return BoundSLO(
+        "latency_p99",
+        value=lambda reg: _latency_p99(reg, ALL_TENANTS),
+        bound=bound_seconds,
+        mode="upper",
+        description="end-to-end p99 stays under the bound",
+    )
+
+
 def serving_slos(
     config: ServingSLOConfig, rung0_ratio: float
 ) -> List[SLO]:
     """The serving plane's SLO set, in display order."""
     return [
-        EventRateSLO(
-            "shed_rate",
-            bad=lambda reg: (
-                metric_total(reg, WINDOW_VERDICTS, verdict="throttle")
-                + metric_total(reg, WINDOW_VERDICTS, verdict="shed")
-                + metric_total(reg, WINDOW_VERDICTS, verdict="expired")
-            ),
-            total=lambda reg: (
-                metric_total(reg, WINDOW_VERDICTS, verdict="admit")
-                + metric_total(reg, WINDOW_VERDICTS, verdict="throttle")
-                + metric_total(reg, WINDOW_VERDICTS, verdict="shed")
-            ),
-            budget=config.shed_budget,
-            description="offered requests refused or dropped on deadline",
-        ),
-        BoundSLO(
-            "latency_p99",
-            value=lambda reg: _latency_p99(reg, ALL_TENANTS),
-            bound=config.latency_p99_seconds,
-            mode="upper",
-            description="end-to-end p99 stays under the bound",
-        ),
+        shed_rate_slo(config.shed_budget),
+        latency_p99_slo(config.latency_p99_seconds),
         GoodputSLO("goodput", config.goodput_floor_bytes_per_second),
         BoundSLO(
             "ratio_lost",
@@ -278,16 +321,14 @@ def build_window_row(
         v: int(metric_total(reg, WINDOW_VERDICTS, verdict=v))
         for v in ("admit", "throttle", "shed", "expired")
     }
+    # Tenant rows must partition the window's offered/served totals even
+    # when the window is a merge of shard registries (one tenant's
+    # traffic spanning replicas): each verdict/serve/completion is
+    # recorded on exactly one shard, so the merged counters add without
+    # double counting, and discovery spans every tenant-labeled series
+    # (a completion-only tenant still gets its row).
     tenants: Dict[str, TenantWindow] = {}
-    names = set()
-    for counter_name in (WINDOW_VERDICTS, WINDOW_SERVED):
-        metric = reg.get(counter_name)
-        if metric is not None:
-            for key, __ in metric.samples():
-                tenant = dict(key).get("tenant")
-                if tenant and tenant != ALL_TENANTS:
-                    names.add(tenant)
-    for tenant in sorted(names):
+    for tenant in window_tenants(reg):
         p99 = _latency_p99(reg, tenant)
         tenants[tenant] = TenantWindow(
             # arrival verdicts only: "expired" is a second verdict for an

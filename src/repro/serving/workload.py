@@ -158,6 +158,7 @@ class WorkloadGenerator:
         process: str = "poisson",
         diurnal_amplitude: float = 0.6,
         diurnal_period: Optional[float] = None,
+        payload_pool: Optional[int] = None,
     ) -> None:
         if process not in ("poisson", "diurnal"):
             raise ValueError("process must be 'poisson' or 'diurnal'")
@@ -165,6 +166,8 @@ class WorkloadGenerator:
             raise ValueError("rate_rps must be positive")
         if not 0 <= diurnal_amplitude < 1:
             raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if payload_pool is not None and payload_pool < 1:
+            raise ValueError("payload_pool must be at least 1 (or None)")
         self.tenants = (
             list(tenants) if tenants is not None else tenants_from_fleet()
         )
@@ -176,10 +179,46 @@ class WorkloadGenerator:
         self.diurnal_period = (
             diurnal_period if diurnal_period is not None else duration_seconds
         )
+        #: when set, each tenant draws payloads from a fixed pool of this
+        #: many pre-sliced windows instead of slicing fresh per request.
+        #: The cluster simulator uses this: payload *content* stays real
+        #: and tenant-shaped, but the distinct-payload population is
+        #: bounded, which lets the fleet codec cache amortize compression
+        #: across O(10^5)-request runs.
+        self.payload_pool = payload_pool
         self._corpora: Dict[str, bytes] = {}
+        self._pools: Dict[str, List[bytes]] = {}
 
     def tenant_weights(self) -> Dict[str, float]:
         return {t.name: t.weight for t in self.tenants}
+
+    def _build_pool(self, spec: TenantSpec) -> List[bytes]:
+        """The tenant's fixed payload pool, a pure function of (tenants,
+        seed, pool size) — a dedicated sampler keyed by the tenant's
+        position keeps pools independent of arrival order."""
+        index = [t.name for t in self.tenants].index(spec.name)
+        corpus = self._corpora.get(spec.name)
+        if corpus is None:
+            corpus = self._corpora[spec.name] = _tenant_corpus(
+                spec, seed=self.seed * 1009 + index
+            )
+        rng = SeededSampler(self.seed * 7919 + 31 * index + 1).rng
+        pool: List[bytes] = []
+        for __ in range(self.payload_pool):
+            size = int(
+                min(
+                    max(
+                        rng.lognormal(
+                            mean=math.log(spec.median_bytes), sigma=spec.sigma
+                        ),
+                        64,
+                    ),
+                    1 << 16,
+                )
+            )
+            start = int(rng.integers(0, max(1, len(corpus) - size)))
+            pool.append(corpus[start : start + size])
+        return pool
 
     def _rate_at(self, t: float) -> float:
         if self.process == "poisson":
@@ -213,24 +252,31 @@ class WorkloadGenerator:
                 continue
             name = str(rng.choice(names, p=weights))
             spec = by_name[name]
-            size = int(
-                min(
-                    max(
-                        rng.lognormal(
-                            mean=math.log(spec.median_bytes), sigma=spec.sigma
+            if self.payload_pool:
+                pool = self._pools.get(name)
+                if pool is None:
+                    pool = self._pools[name] = self._build_pool(spec)
+                payload = pool[int(rng.integers(0, len(pool)))]
+            else:
+                size = int(
+                    min(
+                        max(
+                            rng.lognormal(
+                                mean=math.log(spec.median_bytes),
+                                sigma=spec.sigma,
+                            ),
+                            64,
                         ),
-                        64,
-                    ),
-                    1 << 16,
+                        1 << 16,
+                    )
                 )
-            )
-            corpus = self._corpora.get(name)
-            if corpus is None:
-                corpus = self._corpora[name] = _tenant_corpus(
-                    spec, seed=self.seed * 1009 + len(self._corpora)
-                )
-            start = int(rng.integers(0, max(1, len(corpus) - size)))
-            payload = corpus[start : start + size]
+                corpus = self._corpora.get(name)
+                if corpus is None:
+                    corpus = self._corpora[name] = _tenant_corpus(
+                        spec, seed=self.seed * 1009 + len(self._corpora)
+                    )
+                start = int(rng.integers(0, max(1, len(corpus) - size)))
+                payload = corpus[start : start + size]
             requests.append(
                 ServingRequest(
                     request_id=request_id,

@@ -1,0 +1,213 @@
+"""End-to-end invariants of the cluster simulator.
+
+Four families, all on the real scenarios (no mocks):
+
+- **determinism** — the rendered scorecard is byte-identical across
+  runs and across ``--jobs`` (the in-process codec-cache path and the
+  executor path must be indistinguishable in output), and genuinely
+  seed-sensitive;
+- **fleet rollup** — the merged per-shard windows equal the one-shot
+  global histograms the report records independently in its completion
+  handler, proving the fold is lossless on a real simulation;
+- **scale before page** — on the surge scenario the autoscaler engages
+  before the fleet shed-rate SLO would page, and switching it off makes
+  the same seeded traffic page;
+- **no stranding** — scale-down drains: every retired node served or
+  expired everything it admitted, and the fleet-wide request accounting
+  balances exactly.
+
+Runs are memoized per parameter set so the suite pays for each
+simulation once.
+"""
+
+from functools import lru_cache
+
+import pytest
+
+from repro.cluster import (
+    Autoscaler,
+    CLUSTER_SCENARIOS,
+    format_cluster_scorecard,
+    run_cluster_simulation,
+)
+from repro.cluster.simulate import _cluster_tenants
+from repro.obs.metrics import Histogram
+from repro.serving.slos import (
+    ALL_TENANTS,
+    WINDOW_LATENCY,
+    WINDOW_OUTCOMES,
+    WINDOW_VERDICTS,
+)
+from repro.obs.slo import metric_total
+
+
+@lru_cache(maxsize=None)
+def _run(
+    scenario: str,
+    seed: int = 7,
+    scale: float = 0.25,
+    jobs: int = 1,
+    autoscale=None,
+    rebalance=None,
+):
+    return run_cluster_simulation(
+        scenario,
+        seed=seed,
+        scale=scale,
+        jobs=jobs,
+        autoscale=autoscale,
+        rebalance=rebalance,
+    )
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_scorecard_byte_identical_across_runs():
+    a = run_cluster_simulation("fleet-steady", seed=7, scale=0.25)
+    b = run_cluster_simulation("fleet-steady", seed=7, scale=0.25)
+    assert format_cluster_scorecard(a) == format_cluster_scorecard(b)
+
+
+def test_scorecard_differs_across_seeds():
+    a = _run("fleet-steady", seed=7)
+    b = _run("fleet-steady", seed=8)
+    assert format_cluster_scorecard(a) != format_cluster_scorecard(b)
+
+
+def test_jobs_path_byte_identical_to_in_process():
+    """The executor path (jobs>1) and the memoized in-process path
+    (jobs=1) must render the same scorecard — the cluster-level twin of
+    the parallel engine's --jobs determinism guarantee."""
+    solo = _run("fleet-steady", seed=7)
+    pooled = run_cluster_simulation("fleet-steady", seed=7, scale=0.25, jobs=2)
+    assert format_cluster_scorecard(solo) == format_cluster_scorecard(pooled)
+
+
+def test_scenarios_are_registered_and_self_describing():
+    for name, sc in CLUSTER_SCENARIOS.items():
+        assert sc.name == name
+        assert sc.description
+        assert sc.initial_nodes >= 1
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError):
+        run_cluster_simulation("fleet-nonsense", seed=7)
+
+
+# -- fleet rollup -------------------------------------------------------------
+
+
+def test_fleet_fold_equals_one_shot_global_histogram():
+    """The fleet registry (per-shard windows merged by index, then
+    folded across time) must agree exactly with the one-shot latency
+    histogram the report records at each completion — same count, same
+    percentiles. Any double-count or dropped window breaks this."""
+    report = _run("fleet-steady", seed=7)
+    fold = report.fleet_registry.get(WINDOW_LATENCY)
+    assert isinstance(fold, Histogram)
+    assert fold.count(tenant=ALL_TENANTS) == report.latency.count(source="all")
+    for p in (50, 90, 99):
+        assert fold.percentile(p, tenant=ALL_TENANTS) == pytest.approx(
+            report.latency.percentile(p, source="all"), rel=0, abs=0
+        )
+    assert fold.sum(tenant=ALL_TENANTS) == pytest.approx(
+        report.latency.sum(source="all")
+    )
+
+
+def test_fleet_fold_counts_match_shard_sums():
+    report = _run("fleet-steady", seed=7)
+    registry = report.fleet_registry
+    outcomes = metric_total(registry, WINDOW_OUTCOMES, result="on_time")
+    assert outcomes == report.on_time
+    assert metric_total(registry, WINDOW_OUTCOMES, result="tardy") == report.tardy
+    for verdict, total in (
+        ("admit", report.admitted),
+        ("throttle", report.throttled),
+        ("shed", report.shed),
+        ("expired", report.expired),
+    ):
+        assert metric_total(registry, WINDOW_VERDICTS, verdict=verdict) == total
+    # and the shard table is the same events partitioned by node
+    assert sum(s.admitted for s in report.shards) == report.admitted
+    assert sum(s.served for s in report.shards) == report.served
+    assert sum(s.routed for s in report.shards) == report.arrivals
+
+
+# -- scale before page --------------------------------------------------------
+
+
+def test_surge_autoscaler_engages_before_any_page():
+    """With the autoscaler on, the seeded surge scales up early and the
+    fleet never pages; the identical traffic with the control loops off
+    pages on shed rate. This is the scenario's reason to exist."""
+    scaled = _run("fleet-surge", seed=7, scale=1.0)
+    frozen = _run("fleet-surge", seed=7, scale=1.0, autoscale=False, rebalance=False)
+
+    first_up = scaled.first_scale_up_at()
+    assert first_up is not None, "surge never triggered a scale-up"
+    assert scaled.nodes_peak > scaled.nodes_initial
+    assert scaled.total_page_seconds() == 0.0
+
+    first_page = frozen.first_page_at()
+    assert first_page is not None, "frozen fleet absorbed the surge"
+    assert first_up < first_page
+    assert frozen.shed + frozen.expired > scaled.shed + scaled.expired
+    assert frozen.total_page_seconds() > 0.0
+
+
+def test_surge_scale_ups_report_key_movement():
+    """Every scale-up reports how many tenants re-homed; adding nodes
+    must move *some* tenants (that is the point) but never all of them
+    (minimal movement, inherited from the ring)."""
+    report = _run("fleet-surge", seed=7, scale=1.0)
+    ups = [e for e in report.scale_events if e.action == Autoscaler.UP]
+    assert ups
+    tenant_count = len(_cluster_tenants(CLUSTER_SCENARIOS["fleet-surge"]))
+    assert any(e.moved_tenants > 0 for e in ups)
+    assert all(e.moved_tenants < tenant_count for e in ups)
+
+
+# -- hotspot rebalancing ------------------------------------------------------
+
+
+def test_hotspot_rebalancer_moves_only_the_hot_tenant():
+    report = _run("fleet-hotspot", seed=7, scale=1.0)
+    assert report.rebalance_events, "hotspot never triggered a rebalance"
+    sc = CLUSTER_SCENARIOS["fleet-hotspot"]
+    boosted = max(_cluster_tenants(sc), key=lambda t: t.weight).name
+    assert {e.tenant for e in report.rebalance_events} == {boosted}
+    for event in report.rebalance_events:
+        assert event.from_nodes != event.to_nodes
+
+
+# -- no stranding -------------------------------------------------------------
+
+
+def test_fleet_request_accounting_balances():
+    for name in ("fleet-steady", "fleet-surge"):
+        report = _run(name, seed=7)
+        # front door: every arrival got exactly one admission verdict
+        assert report.admitted + report.throttled + report.shed == report.arrivals
+        # back door: admitted requests are served, expired, or still
+        # queued when the horizon ends — never duplicated or lost
+        backlog = report.admitted - report.served - report.expired
+        assert backlog >= 0
+        assert report.served == report.on_time + report.tardy
+
+
+def test_scale_down_drains_without_stranding():
+    """fleet-steady trims idle nodes; every node it retired must have
+    fully drained first (admitted == served + expired, nothing left)."""
+    report = _run("fleet-steady", seed=7, scale=1.0)
+    downs = [e for e in report.scale_events if e.action == Autoscaler.DOWN]
+    assert downs, "steady fleet never scaled down"
+    retired = [s for s in report.shards if s.status == "retired"]
+    assert retired, "a scale-down must end in a retirement"
+    for shard in retired:
+        assert shard.retired_at is not None
+        assert shard.admitted == shard.served + shard.expired, (
+            f"{shard.name} retired with requests stranded"
+        )

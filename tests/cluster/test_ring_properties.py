@@ -1,0 +1,150 @@
+"""Property tests for the consistent-hash ring.
+
+Three invariants, each checked across hundreds of seeded-random
+configurations (node counts, vnode counts, replica counts, key
+populations):
+
+- **balance** — with enough virtual nodes, no node's share of a large
+  key population strays unboundedly from the mean;
+- **minimal movement** — adding a node only moves keys *onto* it;
+  removing a node only moves the keys it owned;
+- **replica sets** — the right size, no duplicate nodes, primary first,
+  stable under repeated calls.
+
+Plain ``random.Random`` drives the sweep (the ring itself must be
+process-independent — it hashes with blake2b, never ``hash()``), so a
+failing configuration prints its seed and reproduces exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, stable_hash
+
+
+def _keys(rng: random.Random, count: int) -> list:
+    return [f"tenant-{rng.randrange(10 ** 9)}-{i}" for i in range(count)]
+
+
+def test_stable_hash_is_process_independent():
+    # pinned values: these must never change across runs or machines,
+    # or every persisted placement decision silently reshuffles
+    assert stable_hash("tenant-a") == stable_hash("tenant-a")
+    assert stable_hash("tenant-a") != stable_hash("tenant-b")
+    assert stable_hash("") == 0xE4A6A0577479B2B4
+
+
+def test_empty_ring_raises():
+    ring = HashRing()
+    with pytest.raises(ValueError):
+        ring.primary("key")
+    assert ring.replica_set("key") == []
+
+
+def test_duplicate_node_rejected():
+    ring = HashRing(nodes=["a"])
+    with pytest.raises(ValueError):
+        ring.add_node("a")
+
+
+def test_balance_across_seeded_configs():
+    """Max/mean load stays bounded over 100 random configurations."""
+    for seed in range(100):
+        rng = random.Random(f"balance:{seed}")
+        node_count = rng.randrange(3, 25)
+        ring = HashRing(
+            nodes=[f"node-{i:02d}" for i in range(node_count)],
+            vnodes=DEFAULT_VNODES,
+        )
+        keys = _keys(rng, 2000)
+        counts = {node: 0 for node in ring.nodes()}
+        for key in keys:
+            counts[ring.primary(key)] += 1
+        mean = len(keys) / node_count
+        worst = max(counts.values()) / mean
+        # 64 vnodes keeps the worst shard within ~2.4x of the mean for
+        # every seed in this sweep; a hashing regression (e.g. points
+        # clustering) blows straight past it
+        assert worst <= 2.4, (
+            f"seed {seed}: worst node carries {worst:.2f}x the mean "
+            f"({node_count} nodes)"
+        )
+
+
+def test_add_node_moves_keys_only_onto_it():
+    for seed in range(60):
+        rng = random.Random(f"add:{seed}")
+        node_count = rng.randrange(2, 16)
+        ring = HashRing(
+            nodes=[f"node-{i:02d}" for i in range(node_count)],
+            vnodes=rng.choice([16, 32, 64]),
+        )
+        keys = _keys(rng, 400)
+        before = ring.assignments(keys)
+        ring.add_node("node-new")
+        after = ring.assignments(keys)
+        moved = [k for k in keys if before[k] != after[k]]
+        assert all(after[k] == "node-new" for k in moved), (
+            f"seed {seed}: a key moved between pre-existing nodes"
+        )
+        # and the newcomer takes roughly its fair share, not everything
+        assert len(moved) <= len(keys) * 3.5 / (node_count + 1), (
+            f"seed {seed}: {len(moved)} keys moved to the new node"
+        )
+
+
+def test_remove_node_moves_only_its_keys():
+    for seed in range(60):
+        rng = random.Random(f"remove:{seed}")
+        node_count = rng.randrange(3, 16)
+        ring = HashRing(
+            nodes=[f"node-{i:02d}" for i in range(node_count)],
+            vnodes=rng.choice([16, 32, 64]),
+        )
+        keys = _keys(rng, 400)
+        before = ring.assignments(keys)
+        victim = f"node-{rng.randrange(node_count):02d}"
+        ring.remove_node(victim)
+        after = ring.assignments(keys)
+        for key in keys:
+            if before[key] == victim:
+                assert after[key] != victim
+            else:
+                assert after[key] == before[key], (
+                    f"seed {seed}: {key!r} moved although {victim} "
+                    f"never owned it"
+                )
+
+
+def test_replica_sets_disjoint_and_sized():
+    for seed in range(60):
+        rng = random.Random(f"replicas:{seed}")
+        node_count = rng.randrange(1, 12)
+        replicas = rng.randrange(1, 5)
+        ring = HashRing(
+            nodes=[f"node-{i:02d}" for i in range(node_count)],
+            vnodes=rng.choice([8, 16, 32]),
+            replicas=replicas,
+        )
+        for key in _keys(rng, 50):
+            replica_set = ring.replica_set(key)
+            assert len(replica_set) == min(replicas, node_count)
+            assert len(set(replica_set)) == len(replica_set)
+            assert replica_set[0] == ring.primary(key)
+            # stable: same key, same answer
+            assert ring.replica_set(key) == replica_set
+
+
+def test_assignments_deterministic_across_instances():
+    """Two independently built rings agree exactly — placement is a
+    pure function of (nodes, vnodes), never construction order."""
+    for seed in range(30):
+        rng = random.Random(f"det:{seed}")
+        names = [f"node-{i:02d}" for i in range(rng.randrange(2, 10))]
+        keys = _keys(rng, 200)
+        a = HashRing(nodes=names, vnodes=32)
+        b = HashRing(vnodes=32)
+        for name in reversed(names):
+            b.add_node(name)
+        assert a.assignments(keys) == b.assignments(keys)

@@ -16,13 +16,21 @@ import json
 
 import pytest
 
-from repro.obs.slo import OK, PAGE
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.rollup import merge_shard_windows
+from repro.obs.slo import OK, PAGE, SLOEvaluator
+from repro.obs.timeseries import WindowSnapshot
 from repro.serving import run_simulation
 from repro.serving.slos import (
     ServingSLOConfig,
+    build_window_row,
     format_timeline,
+    record_window_completion,
+    record_window_served,
+    record_window_verdict,
     serving_slos,
     timeline_jsonl,
+    window_tenants,
 )
 
 _OVERLOAD = dict(scenario="overload", seed=42, scale=0.5)
@@ -122,6 +130,87 @@ class TestWindowAccounting:
     def test_timeline_opt_out(self):
         report = run_simulation(**_OVERLOAD, with_timeline=False)
         assert report.timeline is None
+
+
+class TestMultiShardDrilldowns:
+    """Regression: tenant drilldowns on *merged shard* windows.
+
+    On a cluster, one tenant's traffic spans replicas, and a request's
+    completion can land on a different shard (and window) than its
+    admission. The drilldown used to assume one node — tenant discovery
+    read only arrival verdicts, so a completion-only tenant vanished
+    and its latency folded silently into ``_all``.
+    """
+
+    @staticmethod
+    def _window(build):
+        registry = MetricsRegistry()
+        build(registry)
+        return WindowSnapshot(0, 0.0, 1.0, registry)
+
+    def _merged_row(self, *builders):
+        merged = merge_shard_windows(
+            [[self._window(b)] for b in builders]
+        )[0]
+        evaluator = SLOEvaluator(serving_slos(ServingSLOConfig(), 3.0))
+        evaluator.on_window([merged], merged.end)
+        return build_window_row(merged, evaluator, 3.0, ())
+
+    def test_tenant_rows_partition_across_shards(self):
+        """tenant-a spans both shards; the merged row must count each
+        verdict and serve exactly once."""
+        def shard_one(reg):
+            for _ in range(4):
+                record_window_verdict(reg, "tenant-a", "admit")
+                record_window_served(reg, "tenant-a", "zstd-3", False, False, 100, 50)
+            record_window_verdict(reg, "tenant-b", "admit")
+            record_window_served(reg, "tenant-b", "zstd-3", False, False, 80, 40)
+
+        def shard_two(reg):
+            for _ in range(3):
+                record_window_verdict(reg, "tenant-a", "admit")
+                record_window_served(reg, "tenant-a", "zstd-3", False, False, 100, 50)
+            record_window_verdict(reg, "tenant-a", "shed")
+
+        row = self._merged_row(shard_one, shard_two)
+        assert row.offered == 9 and row.served == 8
+        assert sum(t.offered for t in row.tenants.values()) == row.offered
+        assert sum(t.served for t in row.tenants.values()) == row.served
+        assert row.tenants["tenant-a"].offered == 8
+        assert row.tenants["tenant-a"].served == 7
+        assert row.tenants["tenant-b"].offered == 1
+
+    def test_completion_only_tenant_keeps_its_row(self):
+        """A tenant admitted in an earlier window whose completion lands
+        here (on a replica shard) still gets a drilldown row, carrying
+        its latency instead of losing it to the aggregate."""
+        def shard_one(reg):
+            record_window_verdict(reg, "tenant-live", "admit")
+            record_window_served(reg, "tenant-live", "zstd-3", False, False, 60, 30)
+
+        def shard_two(reg):
+            record_window_completion(
+                reg, "tenant-late", 0.123, 0.010, on_time=True, bytes_in=500
+            )
+
+        row = self._merged_row(shard_one, shard_two)
+        assert set(row.tenants) == {"tenant-live", "tenant-late"}
+        late = row.tenants["tenant-late"]
+        assert late.offered == 0 and late.served == 0
+        assert late.p99_ms == pytest.approx(123.0, rel=0.2)
+        # and still a partition: the phantom row contributes zeros
+        assert sum(t.offered for t in row.tenants.values()) == row.offered
+
+    def test_window_tenants_spans_all_series(self):
+        registry = MetricsRegistry()
+        record_window_verdict(registry, "by-verdict", "throttle")
+        record_window_served(registry, "by-serve", "lz4-1", False, True, 10, 10)
+        record_window_completion(
+            registry, "by-latency", 0.05, 0.0, on_time=True, bytes_in=10
+        )
+        assert window_tenants(registry) == [
+            "by-latency", "by-serve", "by-verdict",
+        ]
 
 
 class TestConfig:
