@@ -24,6 +24,8 @@ Commands:
   and print the per-shard + fleet scorecard; byte-identical per seed.
 - ``bench-diff`` -- compare two benchmark-trajectory files and fail on
   regressions beyond tolerance.
+- ``lint`` -- run the AST-based determinism/contract sanitizer
+  (``repro.lint``) over the tree and gate on the baseline ratchet.
 """
 
 from __future__ import annotations
@@ -409,6 +411,12 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     return 1 if has_regressions(rows) else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -683,6 +691,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="default allowed relative regression (entries may override)",
     )
     bench_diff.set_defaults(func=_cmd_bench_diff)
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based determinism/contract sanitizer over the tree",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

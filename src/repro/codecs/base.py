@@ -139,11 +139,14 @@ class Compressor:
         counters = StageCounters(bytes_in=len(data))
         # telemetry: one flag read per call; everything else only when on
         obs_on = OBS_STATE.enabled
+        # repro: lint-ok[D001] -- wall duration feeds the CODEC_SECONDS
+        # histogram only; modeled speeds come from perfmodel counters
         start = perf_counter() if obs_on else 0.0
         payload = self._compress(bytes(data), level, dictionary, counters)
         counters.bytes_out = len(payload)
         if obs_on:
             record_codec_call(
+                # repro: lint-ok[D001] -- telemetry-only wall measurement
                 self.name, "compress", level, counters, perf_counter() - start
             )
         return CompressResult(payload, counters, self.name, level)
@@ -163,6 +166,8 @@ class Compressor:
             raise ValueError("max_output_bytes must be non-negative")
         counters = StageCounters(bytes_in=len(payload))
         obs_on = OBS_STATE.enabled
+        # repro: lint-ok[D001] -- wall duration feeds the CODEC_SECONDS
+        # histogram only; modeled speeds come from perfmodel counters
         start = perf_counter() if obs_on else 0.0
         self._output_limit = max_output_bytes
         try:
@@ -194,6 +199,7 @@ class Compressor:
         counters.bytes_out = len(data)
         if obs_on:
             record_codec_call(
+                # repro: lint-ok[D001] -- telemetry-only wall measurement
                 self.name, "decompress", None, counters, perf_counter() - start
             )
         return DecompressResult(data, counters, self.name)

@@ -90,12 +90,15 @@ class CompEngine:
         decode_seconds_total = 0.0
 
         for block in self._blocks(config.block_size):
+            # repro: lint-ok[D001] -- wall_* are informational measurements;
+            # every deterministic output (cost, speed) uses modeled cycles
             start = time.perf_counter()
             result = codec.compress(block, config.level, dictionary=dictionary)
-            wall_compress += time.perf_counter() - start
+            wall_compress += time.perf_counter() - start  # repro: lint-ok[D001] -- informational wall measurement
+            # repro: lint-ok[D001] -- informational wall measurement
             start = time.perf_counter()
             restored = codec.decompress(result.data, dictionary=dictionary)
-            wall_decompress += time.perf_counter() - start
+            wall_decompress += time.perf_counter() - start  # repro: lint-ok[D001] -- informational wall measurement
             if restored.data != block:
                 raise AssertionError(
                     f"round-trip failure for {config.label()} -- codec bug"

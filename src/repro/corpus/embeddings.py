@@ -85,4 +85,4 @@ def generate_ads_request(model: str, seed: int = 0) -> bytes:
         "dense": [float(v) for v in dense[: dense.size]],
         "sparse": [int(v) for v in sparse[: sparse.size]],
     }
-    return json.dumps(payload, separators=(",", ":")).encode()
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()

@@ -40,7 +40,7 @@ def generate_logs(size: int, seed: int = 0) -> bytes:
             "latency_ms": round(sampler.uniform(0.2, 250.0), 2),
             "status": int(sampler.choice([200, 200, 200, 204, 404, 500])[0]),
         }
-        line = json.dumps(record, separators=(",", ":")) + "\n"
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
         lines.append(line)
         total += len(line)
     return "".join(lines).encode("ascii")[:size]

@@ -116,6 +116,9 @@ class SamplingProfiler:
         self, profile: ServiceProfile, count: int = 1000
     ) -> np.ndarray:
         """Draw per-call block sizes for one service (Fig. 5's data)."""
-        rng = np.random.default_rng(self.seed + hash(profile.name) % 65536)
+        # lazy import: fleet must not pull the cluster plane at import time
+        from repro.cluster.ring import stable_hash
+
+        rng = np.random.default_rng(self.seed + stable_hash(profile.name) % 65536)
         median, sigma = profile.block_size
         return rng.lognormal(np.log(median), sigma, size=count).astype(np.int64)

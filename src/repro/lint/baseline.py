@@ -1,0 +1,98 @@
+"""The grandfather baseline and its ratchet.
+
+``lint_baseline.json`` (committed at the repo root) lists findings that
+predate a rule and are tolerated *for now*. The ratchet is one-way:
+
+- a current finding whose fingerprint is in the baseline is
+  **grandfathered** -- reported, but it does not fail ``--fail-on new``;
+- a finding not in the baseline is **new** and fails the gate;
+- a baseline entry that no longer matches anything is **stale** and is
+  dropped on the next ``--write-baseline`` (the file only ever shrinks
+  unless a rule is added).
+
+The shipped baseline is empty: every hazard the initial rules found was
+either fixed or carries a justified inline suppression. Keep it that
+way -- a PR that must add a baseline entry should say why in review.
+
+Fingerprints hash (rule, path, offending line text, occurrence index),
+not line numbers, so unrelated edits above a grandfathered site do not
+resurrect it as "new" (see :mod:`repro.lint.finding`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.lint.finding import Finding
+
+#: default location, resolved against the current directory (CI runs at
+#: the repo root, exactly like the chaos and trajectory gates)
+DEFAULT_BASELINE = "lint_baseline.json"
+
+_SCHEMA = 1
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered finding fingerprints."""
+
+    entries: List[dict] = field(default_factory=list)
+
+    def fingerprints(self) -> Set[str]:
+        return {entry["fingerprint"] for entry in self.entries}
+
+
+def load_baseline(path: str = DEFAULT_BASELINE) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    if not os.path.exists(path):
+        return Baseline()
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    if not isinstance(raw, dict) or "findings" not in raw:
+        raise ValueError(f"{path}: not a lint baseline (missing 'findings')")
+    if raw.get("schema") != _SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported baseline schema {raw.get('schema')!r}"
+        )
+    return Baseline(entries=list(raw["findings"]))
+
+
+def save_baseline(findings: List[Finding], path: str = DEFAULT_BASELINE) -> None:
+    """Write the current error findings as the new baseline, sorted."""
+    entries = sorted(
+        (
+            {
+                "rule": item.rule,
+                "path": item.path,
+                "line_text": item.line_text.strip(),
+                "fingerprint": item.fingerprint,
+            }
+            for item in findings
+        ),
+        key=lambda e: (e["path"], e["rule"], e["fingerprint"]),
+    )
+    payload = {"schema": _SCHEMA, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def split_by_baseline(
+    findings: List[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding]]:
+    """Partition findings into (new, grandfathered) via the ratchet."""
+    known = baseline.fingerprints()
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for item in findings:
+        (grandfathered if item.fingerprint in known else new).append(item)
+    return new, grandfathered
+
+
+def stale_entries(findings: List[Finding], baseline: Baseline) -> List[dict]:
+    """Baseline entries no longer matched by any current finding."""
+    current = {item.fingerprint for item in findings}
+    return [e for e in baseline.entries if e["fingerprint"] not in current]

@@ -1,0 +1,179 @@
+"""``repro lint``: run the sanitizer over a tree and gate on the ratchet.
+
+Exit codes: 0 clean (or all findings grandfathered under ``--fail-on
+new``), 1 gate failed, 2 usage error (unknown rule, bad baseline).
+
+Stdout carries *only* the deterministic report (table or JSONL, sorted
+by location) so CI can diff two runs byte-for-byte, the same convention
+the serve-sim and cluster-sim gates use; the human summary and the gate
+verdict go to stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    save_baseline,
+    split_by_baseline,
+    stale_entries,
+)
+from repro.lint.engine import LintReport, lint_paths
+from repro.lint.rules import all_rules, get_rules
+from repro.obs.export import json_line
+
+
+def _format_table(report: LintReport, new_fingerprints) -> str:
+    from repro.analysis import format_table
+
+    if not report.findings:
+        return f"repro lint: clean ({report.files_checked} files)\n"
+    rows = []
+    for item in report.findings:
+        rows.append(
+            [
+                item.rule,
+                item.severity,
+                "new" if item.fingerprint in new_fingerprints else "old",
+                item.location(),
+                item.message,
+            ]
+        )
+    return format_table(
+        ["rule", "severity", "ratchet", "location", "message"],
+        rows,
+        title=f"repro lint: {len(report.findings)} findings "
+        f"({report.files_checked} files)",
+    )
+
+
+def _format_jsonl(report: LintReport, new_fingerprints) -> str:
+    lines = []
+    for item in report.findings:
+        entry = item.to_dict()
+        entry["new"] = item.fingerprint in new_fingerprints
+        lines.append(json_line(entry))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id}  [{rule.severity}]  {rule.title}")
+        lines.append(f"      {rule.rationale}")
+    return "\n".join(lines) + "\n"
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        sys.stdout.write(_list_rules())
+        return 0
+    try:
+        rules = get_rules(args.rule) if args.rule else None
+    except ValueError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    report = lint_paths(args.paths, rules=rules)
+    try:
+        baseline = load_baseline(args.baseline)
+    except (ValueError, OSError) as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+
+    errors = report.errors()
+    new, grandfathered = split_by_baseline(errors, baseline)
+    new_fingerprints = {item.fingerprint for item in new}
+
+    if args.write_baseline:
+        save_baseline(errors, args.baseline)
+        print(
+            f"lint: wrote {len(errors)} baseline entries to {args.baseline}",
+            file=sys.stderr,
+        )
+
+    text = (
+        _format_jsonl(report, new_fingerprints)
+        if args.format == "jsonl"
+        else _format_table(report, new_fingerprints)
+    )
+    if args.output and args.output != "-":
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        print(f"lint: wrote {args.format} report to {args.output}", file=sys.stderr)
+    elif text:
+        sys.stdout.write(text if text.endswith("\n") else text + "\n")
+
+    stale = stale_entries(errors, baseline)
+    summary = (
+        f"lint: {report.files_checked} files, "
+        f"{len(errors)} errors ({len(new)} new, {len(grandfathered)} "
+        f"grandfathered), {len(report.warnings())} warnings, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    if stale:
+        summary += f", {len(stale)} stale baseline entries (--write-baseline prunes)"
+    print(summary, file=sys.stderr)
+
+    if args.fail_on == "any" and errors:
+        print(f"lint: FAIL ({len(errors)} errors, --fail-on any)", file=sys.stderr)
+        return 1
+    if args.fail_on == "new" and new:
+        print(
+            f"lint: FAIL ({len(new)} new errors not in {args.baseline})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro lint`` argument set (shared with tests)."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format", default="table", choices=["table", "jsonl"],
+        help="jsonl is the machine-diffable CI artifact form",
+    )
+    parser.add_argument(
+        "--rule", action="append", default=None, metavar="ID",
+        help="run only this rule (repeatable); disables stale-suppression "
+        "warnings",
+    )
+    parser.add_argument(
+        "--fail-on", default="new", choices=["new", "any"],
+        help="'new' gates on the baseline ratchet; 'any' ignores the baseline",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help="grandfathered-findings file (missing = empty baseline)",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline from current findings (prunes stale entries)",
+    )
+    parser.add_argument(
+        "--output", default=None,
+        help="write the report to a file instead of stdout",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint", description="AST-based determinism/contract sanitizer"
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

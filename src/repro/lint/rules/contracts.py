@@ -1,0 +1,107 @@
+"""Rule family E: codec exception contracts.
+
+The decode boundary promise (docs/resilience.md): no malformed payload
+may escape a codec as a low-level exception. Callers -- the cache
+server's verified-decompress path, kvstore block reads, the RPC channel
+-- catch :class:`repro.codecs.base.CorruptDataError` to quarantine and
+recover; an escaping ``IndexError`` or ``struct.error`` would instead
+crash the service. :meth:`Compressor.decompress` installs a catch-all
+conversion, but hand-rolled decode helpers that catch-and-continue can
+still silently swallow corruption into wrong output, which is worse.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.finding import Finding
+from repro.lint.rules import Rule, register
+
+#: exception names whose appearance in a decode path means "corrupt input"
+_CORRUPTION_EXCEPTIONS = {
+    "IndexError", "KeyError", "ValueError", "OverflowError", "EOFError",
+    "MemoryError", "error",  # struct.error appears as Attribute(attr='error')
+}
+#: function names that put a handler on the decode path
+_DECODE_CONTEXT = re.compile(r"(decode|decompress|inflate|replay)", re.IGNORECASE)
+#: exception types a decode-path handler may legitimately raise
+_ALLOWED_RAISE = re.compile(r"(Corrupt|Codec|OutputLimit)")
+
+
+def _handler_names(handler: ast.ExceptHandler):
+    """Exception names a handler catches (flattening tuples)."""
+    nodes = []
+    if isinstance(handler.type, ast.Tuple):
+        nodes = handler.type.elts
+    elif handler.type is not None:
+        nodes = [handler.type]
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            yield node.id
+        elif isinstance(node, ast.Attribute):
+            yield node.attr
+
+
+def _raised_name(node: ast.Raise) -> str:
+    """Best-effort name of the exception a raise statement constructs."""
+    target = node.exc
+    if isinstance(target, ast.Call):
+        target = target.func
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return ""  # bare ``raise`` re-raises the low-level exception
+
+
+@register
+class DecodeBoundaryRule(Rule):
+    id = "E001"
+    title = "codec decode path leaks or swallows corruption exceptions"
+    rationale = (
+        "Decode helpers in repro/codecs that catch IndexError/ValueError/"
+        "struct.error-class exceptions must convert them to CorruptDataError "
+        "(or another CodecError); swallowing turns corruption into wrong "
+        "output, re-raising raw crashes the quarantine/recovery machinery."
+    )
+
+    def is_exempt(self, ctx) -> bool:
+        return "repro/codecs/" not in ctx.path
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = [n for n in _handler_names(node) if n in _CORRUPTION_EXCEPTIONS]
+            if not caught:
+                continue
+            function = ctx.enclosing_function(node)
+            if function is None or not _DECODE_CONTEXT.search(function):
+                continue
+            raises = [
+                sub for sub in ast.walk(node) if isinstance(sub, ast.Raise)
+            ]
+            if not raises:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"handler in {function}() swallows {'/'.join(caught)}; "
+                    "decode paths must raise CorruptDataError so callers "
+                    "can quarantine",
+                )
+                continue
+            bad = [
+                _raised_name(sub) or "<bare raise>"
+                for sub in raises
+                if not _ALLOWED_RAISE.search(_raised_name(sub))
+            ]
+            if bad:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"handler in {function}() re-raises {'/'.join(sorted(set(bad)))} "
+                    f"for caught {'/'.join(caught)}; convert to CorruptDataError "
+                    "at the decode boundary",
+                )

@@ -1,0 +1,110 @@
+"""Rule family O: the zero-cost-when-disabled instrumentation contract.
+
+:mod:`repro.obs.instrument`'s module docstring states the hot-path
+deal: *callers* own the enabled check --
+
+    if OBS_STATE.enabled:
+        record_codec_call(...)
+
+-- so a disabled process pays one attribute read and a branch per
+event, which is what `bench_obs_overhead.py` certifies with its 5%
+guard and raising-stub audit. An unguarded ``record_*`` call silently
+re-introduces registry work (label-dict construction, histogram
+bucketing) on every operation of every un-instrumented run.
+
+The window-metric hooks (:mod:`repro.serving.slos`) follow the sibling
+pattern guarded on the recorder argument::
+
+    if self.recorder is not None:
+        record_window_verdict(...)
+
+O001 accepts either guard shape, a hoisted flag (``obs_on =
+OBS_STATE.enabled`` ... ``if obs_on:``), or a conditional expression
+with the same tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.finding import Finding
+from repro.lint.rules import Rule, register
+
+#: modules whose ``record_*`` exports are hot-path hooks
+_HOOK_MODULES = ("repro.obs.", "repro.serving.slos")
+#: the obs plane itself (and the window-hook module) define the hooks;
+#: tests drive recorders directly and are not hot paths
+_EXEMPT_PATHS = ("repro/obs/", "repro/serving/slos.py", "repro/lint/", "tests/")
+
+
+def _guard_test_qualifies(test: ast.AST) -> bool:
+    """Does an ``if`` test look like an enabled/recorder guard?"""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr in ("enabled", "recorder"):
+            return True
+        if isinstance(node, ast.Name) and (
+            "enabled" in node.id or "obs_on" in node.id or node.id == "recorder"
+        ):
+            return True
+        if isinstance(node, ast.Compare) and any(
+            isinstance(op, (ast.IsNot, ast.NotEq)) for op in node.ops
+        ):
+            # ``x is not None`` / ``x != None`` recorder-style guards
+            return True
+    return False
+
+
+@register
+class UnguardedInstrumentationRule(Rule):
+    id = "O001"
+    title = "instrumentation call without an enabled/recorder guard"
+    rationale = (
+        "record_* hooks do registry work (label dicts, histogram bucketing) "
+        "on every call; the zero-cost-when-disabled contract requires every "
+        "call site to sit behind 'if OBS_STATE.enabled:' or an "
+        "'if recorder is not None:' guard (bench_obs_overhead.py audits this "
+        "with a raising stub)."
+    )
+
+    def is_exempt(self, ctx) -> bool:
+        return any(part in ctx.path for part in _EXEMPT_PATHS)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        hooks = {
+            name
+            for name, module in ctx.from_imports.items()
+            if name.startswith("record_")
+            and (
+                module.startswith("repro.obs.")
+                or module in ("repro.obs", "repro.serving.slos")
+            )
+        }
+        if not hooks:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (isinstance(node.func, ast.Name) and node.func.id in hooks):
+                continue
+            if self._is_guarded(ctx, node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{node.func.id}() is not behind an enabled/recorder guard; "
+                "wrap in 'if OBS_STATE.enabled:' (or suppress with a "
+                "justification naming the caller-side guard)",
+            )
+
+    def _is_guarded(self, ctx, node: ast.Call) -> bool:
+        current: ast.AST = node
+        for ancestor, field_name in ctx.ancestors(node):
+            if isinstance(ancestor, ast.If) and field_name == "body":
+                if _guard_test_qualifies(ancestor.test):
+                    return True
+            if isinstance(ancestor, ast.IfExp) and field_name == "body":
+                if _guard_test_qualifies(ancestor.test):
+                    return True
+            current = ancestor
+        return False

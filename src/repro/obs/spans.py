@@ -83,12 +83,15 @@ class span:
             name=self._name, attributes=dict(self._attributes), path=path
         )
         _STACK.open.append(self.record)
+        # repro: lint-ok[D001] -- span durations are wall telemetry by design;
+        # they feed histograms with tolerance, never deterministic scorecards
         self._start = time.perf_counter()
         return self.record
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         record = self.record
         assert record is not None
+        # repro: lint-ok[D001] -- closes the telemetry-only measurement above
         record.duration_seconds = time.perf_counter() - self._start
         record.error = exc_type is not None
         # always restore the stack, even on error or foreign interleaving

@@ -46,6 +46,8 @@ class WallClock:
     __slots__ = ()
 
     def now(self) -> float:
+        # repro: lint-ok[D001] -- WallClock IS the wall-time injection point;
+        # sim paths pass SimClock instead (the D001 contract's live half)
         return time.monotonic()
 
 

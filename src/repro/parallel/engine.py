@@ -74,18 +74,22 @@ def _compress_chunk(task) -> Tuple[int, bytes, StageCounters, float]:
     """Compress one chunk into one frame; runs in a worker or in-process."""
     index, codec_name, level, dictionary, chunk = task
     codec = get_codec(codec_name)
+    # repro: lint-ok[D001] -- per-chunk wall duration is shipped back as
+    # telemetry for span stitching; frame bytes are seed-deterministic
     start = perf_counter()
     result = codec.compress(chunk, level, dictionary=dictionary)
-    return index, result.data, result.counters, perf_counter() - start
+    return index, result.data, result.counters, perf_counter() - start  # repro: lint-ok[D001] -- telemetry-only wall measurement
 
 
 def _decompress_frame(task) -> Tuple[int, bytes, StageCounters, float]:
     """Decompress one frame back to its chunk."""
     index, codec_name, dictionary, frame = task
     codec = get_codec(codec_name)
+    # repro: lint-ok[D001] -- per-chunk wall duration is shipped back as
+    # telemetry for span stitching; chunk bytes are seed-deterministic
     start = perf_counter()
     result = codec.decompress(frame, dictionary=dictionary)
-    return index, result.data, result.counters, perf_counter() - start
+    return index, result.data, result.counters, perf_counter() - start  # repro: lint-ok[D001] -- telemetry-only wall measurement
 
 
 def _stitch_chunk_telemetry(
@@ -98,6 +102,8 @@ def _stitch_chunk_telemetry(
     from repro.obs.spans import record_external_span
 
     for index, payload, counters, seconds in outputs:
+        # repro: lint-ok[O001] -- caller-guarded: both call sites sit
+        # inside `if obs_on:` blocks (compress_chunked/decompress_chunked)
         record_external_span(
             f"parallel.chunk.{direction}",
             seconds,
@@ -105,6 +111,7 @@ def _stitch_chunk_telemetry(
             index=index,
             bytes_in=counters.bytes_in,
         )
+        # repro: lint-ok[O001] -- caller-guarded (see record_external_span above)
         record_parallel_chunk(
             codec_name, direction, seconds, counters.bytes_in, executor_kind
         )
@@ -139,6 +146,7 @@ def compress_chunked(
     if own_executor:
         executor = make_executor(jobs) if len(tasks) > 1 else SerialExecutor()
     obs_on = OBS_STATE.enabled
+    # repro: lint-ok[D001] -- assembly-span wall timing, telemetry only
     started = perf_counter() if obs_on else 0.0
     try:
         outputs = executor.map(_compress_chunk, tasks)
@@ -178,6 +186,7 @@ def compress_chunked(
                 resolved.name, "compress", getattr(executor, "kind", "serial"), outputs
             )
             record_external_span(
+                # repro: lint-ok[D001] -- assembly-span wall timing, telemetry only
                 "parallel.assemble", perf_counter() - started, codec=resolved.name
             )
 

@@ -46,13 +46,15 @@ class ParallelSweepRunner:
             return []
         own_executor = self._executor is None
         executor = self._executor if not own_executor else make_executor(self.jobs)
+        # repro: lint-ok[D001] -- last_wall_seconds is an informational
+        # measurement; sweep cell results are seed-deterministic
         start = perf_counter()
         try:
             results = executor.map(self.cell_fn, cells)
         finally:
             if own_executor:
                 executor.close()
-        self.last_wall_seconds = perf_counter() - start
+        self.last_wall_seconds = perf_counter() - start  # repro: lint-ok[D001] -- informational wall measurement
         return results
 
     def run_tagged(self, cells: Sequence[Cell]) -> List[Tuple[Cell, Result]]:

@@ -1,0 +1,71 @@
+"""PYTHONHASHSEED immunity: scorecards may not depend on hash salting.
+
+The builtin ``hash()`` is salted per process, so anything seeded or
+ordered through it changes between runs even with identical seeds --
+exactly the bug rule D002 exists to catch (and that
+``fleet.profiler.block_size_samples`` had before it switched to
+``cluster.ring.stable_hash``). These tests re-run the headline
+deterministic artifacts in subprocesses under two different hash seeds
+and require byte-identical output.
+"""
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_PROFILER_SNIPPET = """
+import numpy as np
+from repro.fleet.profiler import SamplingProfiler
+from repro.fleet.profiles import DEFAULT_FLEET
+
+profiler = SamplingProfiler(samples_per_day=50_000, seed=3)
+for profile in DEFAULT_FLEET:
+    sizes = profiler.block_size_samples(profile, count=64)
+    print(profile.name, int(sizes.sum()), int(sizes.max()))
+for sample in profiler.run(days=2)[:50]:
+    print(sample.service, sample.weight, sample.level, sample.block_size)
+"""
+
+
+def _run(argv, hash_seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.run(
+        argv,
+        cwd=REPO_ROOT,
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        timeout=180,
+    )
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout
+
+
+def _identical_across_hash_seeds(argv):
+    assert _run(argv, "0") == _run(argv, "1")
+
+
+def test_profiler_block_sizes_ignore_hash_seed():
+    _identical_across_hash_seeds([sys.executable, "-c", _PROFILER_SNIPPET])
+
+
+def test_chaos_scorecard_ignores_hash_seed():
+    _identical_across_hash_seeds(
+        [
+            sys.executable, "-m", "repro", "chaos",
+            "--plan", "standard", "--seed", "7", "--ops", "0.1",
+        ]
+    )
+
+
+def test_cluster_sim_scorecard_ignores_hash_seed():
+    _identical_across_hash_seeds(
+        [
+            sys.executable, "-m", "repro", "cluster-sim",
+            "--scenario", "fleet-surge", "--seed", "7", "--scale", "0.1",
+        ]
+    )
