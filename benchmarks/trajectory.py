@@ -224,6 +224,50 @@ def record_cluster_metrics(path: Optional[str] = None) -> None:
     )
 
 
+def record_graph_metrics(path: Optional[str] = None) -> None:
+    """Graph-compression numbers: trained-graph ratios and search output.
+
+    The per-category ratios compress one fixed 64 KiB corpus sample with
+    the pinned trained graphs; the ``graph.search.*`` entries run one
+    small seeded training round so the trajectory catches regressions in
+    the search itself (a worse winner shows up as a ratio drop). Both
+    are pure functions of seed and payload.
+    """
+    from repro.codecs import get_codec
+    from repro.graphs.samples import category_sample, category_samples
+    from repro.graphs.search import train_graph
+    from repro.graphs.trained import TRAINED_CATEGORIES
+
+    for category in TRAINED_CATEGORIES:
+        data = category_sample(category, size=65536, seed=3)
+        result = get_codec(f"graph:{category}").compress(data, 1)
+        record(
+            f"graph.{category}.ratio",
+            result.ratio,
+            "x",
+            higher_is_better=True,
+            path=path,
+        )
+    samples = category_samples("record", count=1, size=16384, seed=3)
+    trained = train_graph(
+        "record", samples, generations=2, population=3, seed=0
+    )
+    record(
+        "graph.search.record_ratio",
+        trained.ranked_graph.metrics.ratio,
+        "x",
+        higher_is_better=True,
+        path=path,
+    )
+    record(
+        "graph.search.evaluated",
+        float(len(trained.result.ranked)),
+        "candidates",
+        higher_is_better=True,
+        path=path,
+    )
+
+
 def regenerate(path: Optional[str] = None) -> str:
     """Recompute every deterministic entry; returns the path written."""
     target = path or trajectory_path()
@@ -232,6 +276,7 @@ def regenerate(path: Optional[str] = None) -> str:
     record_codec_metrics(target)
     record_kvstore_metrics(target)
     record_cluster_metrics(target)
+    record_graph_metrics(target)
     return target
 
 

@@ -26,6 +26,9 @@ Commands:
   regressions beyond tolerance.
 - ``lint`` -- run the AST-based determinism/contract sanitizer
   (``repro.lint``) over the tree and gate on the baseline ratchet.
+- ``graph`` -- OpenZL-style graph compression: train per-category
+  transform DAGs, compress/decompress self-describing graph streams,
+  and describe graph shapes (``repro.graphs``).
 """
 
 from __future__ import annotations
@@ -275,6 +278,7 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         scale=args.scale,
         degradation=False if args.no_degradation else None,
         jobs=args.jobs,
+        graphs=args.graphs.split(",") if args.graphs else None,
     )
     print(format_scorecard(report))
     if report.shed_rate() > args.max_shed_rate:
@@ -415,6 +419,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint_command
 
     return run_lint_command(args)
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.graphs.cli import run_graph_command
+
+    return run_graph_command(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -587,6 +597,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--min-served", type=int, default=0,
         help="exit 1 unless at least this many requests were served",
     )
+    serve.add_argument(
+        "--graphs", default="",
+        help="comma-separated trained graph names to add as ladder "
+        "candidates (e.g. record,float); empty keeps the flat ladder",
+    )
     serve.set_defaults(func=_cmd_serve_sim)
 
     slo = sub.add_parser(
@@ -700,6 +715,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=_cmd_lint)
+
+    graph = sub.add_parser(
+        "graph",
+        help="graph compression: train/compress/decompress/describe",
+    )
+    from repro.graphs.cli import add_graph_arguments
+
+    add_graph_arguments(graph)
+    graph.set_defaults(func=_cmd_graph)
     return parser
 
 

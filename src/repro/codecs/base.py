@@ -64,6 +64,11 @@ class StageCounters:
     literal_bytes_copied: int = 0
     match_bytes_copied: int = 0
     entropy_symbols_decoded: int = 0
+    # -- structural transform stage (graph codecs) --
+    #: bytes moved through invertible restructuring transforms (transpose,
+    #: delta, tokenize, ...) before/after the entropy leaves; zero for the
+    #: flat codecs, so their modeled costs are unchanged
+    transform_bytes: int = 0
 
     def merge(self, other: "StageCounters") -> None:
         """Accumulate another counter set into this one (in place)."""
@@ -248,11 +253,28 @@ def register_codec(name: str, factory: Callable[[], Compressor]) -> None:
     _REGISTRY[name] = factory
 
 
+#: prefix that routes codec lookups to the graph registry
+GRAPH_CODEC_PREFIX = "graph:"
+
+
 def get_codec(name: str) -> Compressor:
-    """Instantiate the codec registered under ``name``."""
+    """Instantiate the codec registered under ``name``.
+
+    Names of the form ``graph:<graph-name>`` resolve through the graph
+    registry (:mod:`repro.graphs`) instead of the flat-codec table. The
+    import is deferred to the call so that pool workers — which only ever
+    see this function — reconstruct trained graph codecs without any
+    registration side channel.
+    """
     try:
         factory = _REGISTRY[name]
     except KeyError:
+        if name.startswith(GRAPH_CODEC_PREFIX):
+            from repro.graphs.registry import resolve_graph_codec
+
+            codec = resolve_graph_codec(name[len(GRAPH_CODEC_PREFIX):])
+            if codec is not None:
+                return codec
         raise CodecError(
             f"unknown codec {name!r}; available: {sorted(_REGISTRY)}"
         ) from None

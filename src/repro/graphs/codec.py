@@ -1,0 +1,206 @@
+"""GraphCompressor: executes a graph spec behind the Compressor interface.
+
+A graph codec is a normal :class:`~repro.codecs.base.Compressor` whose
+registry name is ``graph:<graph-name>``, so everything built on the codec
+registry — CompEngine, the serving gateway, process-pool workers, the
+chunked parallel path — drives graphs without modification.
+
+Compression walks the spec: transform nodes split/recode the bytes into
+child streams, terminal nodes produce one frame each (``leaf`` runs a flat
+codec from the registry, ``store`` keeps the bytes raw). Frames travel in
+DFS pre-order inside the self-describing container from
+:mod:`repro.graphs.stream`; decompression re-reads the spec from the
+header, so a receiver needs no out-of-band graph registry.
+
+Cost accounting: leaf codec stage counters merge into the call's counters
+(minus their inner ``bytes_in``/``bytes_out``, which the base class owns),
+and every transform adds the bytes it moved to ``transform_bytes`` — the
+counter :mod:`repro.perfmodel` prices with the ``graph`` coefficient
+family. Flat codecs never touch ``transform_bytes``, so their modeled
+costs are untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Iterator, List, Optional, Tuple
+
+from repro.codecs.base import (
+    CodecError,
+    Compressor,
+    CorruptDataError,
+    StageCounters,
+    get_codec,
+)
+from repro.graphs.model import Spec, children_of, validate_spec
+from repro.graphs.nodes import decode_transform, encode_transform
+from repro.graphs.stream import decode_stream, decode_stream_at, encode_stream
+
+_PASSTHROUGH = ("bytes_in", "bytes_out")
+
+
+def _merge_leaf_counters(target: StageCounters, leaf: StageCounters) -> None:
+    """Accumulate a leaf call's stage work, excluding the byte totals.
+
+    The graph call's own ``bytes_in``/``bytes_out`` are the whole-payload
+    sizes, maintained by the Compressor base class; summing the leaves'
+    would double-count them.
+    """
+    for f in fields(StageCounters):
+        if f.name in _PASSTHROUGH:
+            continue
+        setattr(target, f.name, getattr(target, f.name) + getattr(leaf, f.name))
+
+
+class GraphCompressor(Compressor):
+    """One named graph, executable as a codec.
+
+    Graphs have a single level (the shape *is* the tuning knob); level 1
+    is accepted so ``CompressionConfig(name, 1)`` round-trips.
+    """
+
+    min_level = 1
+    max_level = 1
+    default_level = 1
+
+    def __init__(self, graph_name: str, spec: Spec):
+        validate_spec(spec)
+        self.name = f"graph:{graph_name}"
+        self.graph_name = graph_name
+        self.spec = spec
+
+    # -- compression --------------------------------------------------------
+
+    def _compress(
+        self,
+        data: bytes,
+        level: int,
+        dictionary: Optional[bytes],
+        counters: StageCounters,
+    ) -> bytes:
+        frames: List[Tuple[int, bytes]] = []
+        self._encode_node(self.spec, data, counters, frames)
+        return encode_stream(self.spec, frames)
+
+    def _encode_node(
+        self,
+        node: Spec,
+        data: bytes,
+        counters: StageCounters,
+        frames: List[Tuple[int, bytes]],
+    ) -> None:
+        kind = node["kind"]
+        if kind == "leaf":
+            result = get_codec(str(node["codec"])).compress(
+                data, int(node["level"])
+            )
+            _merge_leaf_counters(counters, result.counters)
+            frames.append((len(data), result.data))
+            return
+        if kind == "store":
+            frames.append((len(data), data))
+            return
+        streams = encode_transform(node, data)
+        counters.transform_bytes += len(data)
+        for child, stream in zip(children_of(node), streams):
+            self._encode_node(child, stream, counters, frames)
+
+    # -- decompression ------------------------------------------------------
+
+    def _decompress(
+        self,
+        payload: bytes,
+        dictionary: Optional[bytes],
+        counters: StageCounters,
+    ) -> bytes:
+        # concatenated containers decode to concatenated outputs -- the
+        # multi-frame convention every codec in the repo honors, which is
+        # what lets the chunked parallel engine emit standard streams
+        if not payload:
+            raise CorruptDataError("empty graph stream")
+        parts = []
+        pos = 0
+        while pos < len(payload):
+            spec, frames, pos = decode_stream_at(payload, pos)
+            data, leftover = _decode_spec(
+                spec, frames, counters, self._output_limit
+            )
+            if leftover:
+                raise CorruptDataError(
+                    f"graph stream carries {leftover} frames beyond the "
+                    "graph's leaves"
+                )
+            parts.append(data)
+        return b"".join(parts)
+
+
+def _decode_spec(
+    spec: Spec,
+    frames: List[Tuple[int, bytes]],
+    counters: StageCounters,
+    output_limit: Optional[int],
+) -> Tuple[bytes, int]:
+    """Decode a parsed stream; returns ``(data, unconsumed_frame_count)``."""
+    it = iter(frames)
+    data = _decode_node(spec, it, counters, output_limit)
+    return data, sum(1 for __ in it)
+
+
+def _decode_node(
+    node: Spec,
+    frames: Iterator[Tuple[int, bytes]],
+    counters: StageCounters,
+    output_limit: Optional[int],
+) -> bytes:
+    kind = node["kind"]
+    if kind in ("leaf", "store"):
+        try:
+            raw_len, payload = next(frames)
+        except StopIteration:
+            raise CorruptDataError(
+                "graph stream ended before all leaves were fed"
+            ) from None
+        if output_limit is not None and raw_len > output_limit:
+            # fail before the leaf commits the memory (bomb guard); the
+            # graph's own output can only shrink from here (joins drop
+            # delimiters at most)
+            raise CorruptDataError(
+                f"graph frame claims {raw_len} raw bytes, "
+                f"caller limit is {output_limit}"
+            )
+        if kind == "store":
+            if len(payload) != raw_len:
+                raise CorruptDataError(
+                    f"store frame length {len(payload)} != declared {raw_len}"
+                )
+            return payload
+        try:
+            leaf = get_codec(str(node["codec"]))
+            result = leaf.decompress(payload, max_output_bytes=raw_len)
+        except CorruptDataError:
+            raise
+        except CodecError as exc:
+            # an unknown leaf name or a frame that outgrows its declared
+            # size comes from the (attacker-controlled) header, so at this
+            # boundary it is corruption, not an API misuse
+            raise CorruptDataError(f"graph leaf failed to decode: {exc}") from exc
+        _merge_leaf_counters(counters, result.counters)
+        if len(result.data) != raw_len:
+            raise CorruptDataError(
+                f"leaf frame decoded to {len(result.data)} bytes, "
+                f"declared {raw_len}"
+            )
+        return result.data
+    streams = [
+        _decode_node(child, frames, counters, output_limit)
+        for child in children_of(node)
+    ]
+    data = decode_transform(node, streams)
+    counters.transform_bytes += len(data)
+    return data
+
+
+def decode_graph_header(payload: bytes) -> Spec:
+    """The graph spec embedded in a compressed stream (for ``describe``)."""
+    spec, __ = decode_stream(payload)
+    return spec

@@ -1,0 +1,47 @@
+"""Per-category training/evaluation samples from the corpus generators.
+
+The category names line up with :data:`repro.graphs.trained.TRAINED_CATEGORIES`;
+each maps to the corpus member whose structure the category's graph
+encodes. Samples are pure functions of ``(category, size, seed)``, so
+training, the acceptance tests, and the benchmark trajectory all see the
+same bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.corpus.embeddings import generate_ads_request
+from repro.corpus.logs import generate_logs
+from repro.corpus.records import generate_records
+
+#: default training sample size; column/section structure needs room to
+#: repeat before splitting pays for its per-frame overhead
+DEFAULT_SAMPLE_SIZE = 65536
+
+
+def category_sample(category: str, size: int, seed: int) -> bytes:
+    """One sample payload for a category."""
+    if category == "record":
+        return generate_records(size, seed=seed)
+    if category == "text":
+        return generate_logs(size, seed=seed)
+    if category == "float":
+        # ads model B: one request per sample — the wire layout (header,
+        # dense block, sparse block) is per-request, so concatenating
+        # requests would misalign the sections the graph's slice targets.
+        # ``size`` is ignored; the model fixes the request size.
+        return generate_ads_request("B", seed=seed)
+    raise ValueError(f"unknown graph category {category!r}")
+
+
+def category_samples(
+    category: str,
+    count: int = 3,
+    size: int = DEFAULT_SAMPLE_SIZE,
+    seed: int = 0,
+) -> List[bytes]:
+    """Deterministic sample set for training or evaluation."""
+    return [
+        category_sample(category, size, seed + 1000 * i) for i in range(count)
+    ]

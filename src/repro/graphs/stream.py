@@ -1,0 +1,144 @@
+"""The self-describing multi-frame stream container for graph codecs.
+
+Layout (all integers are LEB128 uvarints from :mod:`repro.codecs.varint`):
+
+.. code-block:: text
+
+    magic "RGZ1"            4 bytes
+    header_raw_len          uvarint   (canonical spec size, bomb-capped)
+    header_len              uvarint   (deflated size as stored)
+    header                  DEFLATE(canonical graph spec)
+    frame_count             uvarint
+    frame*                  one per terminal node, DFS pre-order:
+        raw_len             uvarint   (pre-compression stream size)
+        payload_len         uvarint
+        crc32               4 bytes LE, over the payload
+        payload             leaf codec output (or raw bytes for ``store``)
+
+The spec header is deflated because it is pure JSON boilerplate —
+leaving it raw would tax every payload ~2-4% regardless of content.
+
+The header makes every stream *self-describing*: decompression needs no
+out-of-band graph registry, only the codec table for the leaf names the
+header mentions. The per-frame CRC detects payload corruption before the
+leaf codec runs; header corruption surfaces as a
+:class:`~repro.codecs.base.CorruptDataError` via spec validation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Tuple
+
+from repro.codecs.base import CorruptDataError
+from repro.codecs.varint import read_uvarint, write_uvarint
+from repro.graphs.model import (
+    GraphSpecError,
+    Spec,
+    canonical_bytes,
+    parse_spec,
+)
+
+MAGIC = b"RGZ1"
+
+#: cap on the header a hostile stream may make us parse
+MAX_HEADER_BYTES = 64 * 1024
+
+
+def encode_stream(spec: Spec, frames: List[Tuple[int, bytes]]) -> bytes:
+    """Assemble the container from a spec and ``(raw_len, payload)`` frames."""
+    out = bytearray(MAGIC)
+    header = canonical_bytes(spec)
+    deflated = zlib.compress(header, 9)
+    write_uvarint(out, len(header))
+    write_uvarint(out, len(deflated))
+    out += deflated
+    write_uvarint(out, len(frames))
+    for raw_len, payload in frames:
+        write_uvarint(out, raw_len)
+        write_uvarint(out, len(payload))
+        out += (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "little")
+        out += payload
+    return bytes(out)
+
+
+def decode_stream(data: bytes) -> Tuple[Spec, List[Tuple[int, bytes]]]:
+    """Parse one container back into ``(spec, [(raw_len, payload), ...])``.
+
+    Every structural violation — bad magic, oversized or invalid header,
+    frame counts or lengths that overrun the buffer, checksum mismatch,
+    trailing bytes — raises :class:`CorruptDataError`.
+    """
+    spec, frames, pos = decode_stream_at(data, 0)
+    if pos != len(data):
+        raise CorruptDataError(
+            f"graph stream has {len(data) - pos} trailing bytes"
+        )
+    return spec, frames
+
+
+def decode_stream_at(
+    data: bytes, start: int
+) -> Tuple[Spec, List[Tuple[int, bytes]], int]:
+    """Parse the container at ``start``; returns ``(spec, frames, end)``.
+
+    The repo-wide convention is that every codec's decoder accepts
+    concatenated frames (that is what makes chunked parallel output a
+    standard stream) — this is the incremental parser the graph codec
+    loops to honor it.
+    """
+    if data[start : start + 4] != MAGIC:
+        raise CorruptDataError(
+            f"bad graph stream magic {data[start:start + 4]!r}, "
+            f"expected {MAGIC!r}"
+        )
+    raw_len, pos = read_uvarint(data, start + 4)
+    if raw_len > MAX_HEADER_BYTES:
+        raise CorruptDataError(
+            f"graph header claims {raw_len} bytes, cap is {MAX_HEADER_BYTES}"
+        )
+    header_len, pos = read_uvarint(data, pos)
+    if pos + header_len > len(data):
+        raise CorruptDataError("graph header overruns the stream")
+    # decompress with an explicit output cap: raw_len is attacker data,
+    # so the inflater must never produce more than the checked claim
+    inflater = zlib.decompressobj()
+    try:
+        header = inflater.decompress(data[pos : pos + header_len], raw_len + 1)
+    except zlib.error as exc:
+        raise CorruptDataError(f"graph header fails to inflate: {exc}") from exc
+    if len(header) != raw_len or not inflater.eof or inflater.unused_data:
+        raise CorruptDataError(
+            f"graph header inflates to {len(header)} bytes, claimed {raw_len}"
+        )
+    try:
+        spec = parse_spec(header)
+    except GraphSpecError as exc:
+        raise CorruptDataError(f"corrupt graph header: {exc}") from exc
+    pos += header_len
+    frame_count, pos = read_uvarint(data, pos)
+    if frame_count > len(data):  # each frame takes >= 6 bytes
+        raise CorruptDataError(
+            f"graph stream claims {frame_count} frames in {len(data)} bytes"
+        )
+    frames: List[Tuple[int, bytes]] = []
+    for index in range(frame_count):
+        raw_len, pos = read_uvarint(data, pos)
+        payload_len, pos = read_uvarint(data, pos)
+        if pos + 4 + payload_len > len(data):
+            raise CorruptDataError(
+                f"graph frame {index} overruns the stream "
+                f"({payload_len} payload bytes at offset {pos})"
+            )
+        stored_crc = int.from_bytes(data[pos : pos + 4], "little")
+        pos += 4
+        payload = data[pos : pos + payload_len]
+        pos += payload_len
+        actual_crc = zlib.crc32(payload) & 0xFFFFFFFF
+        if actual_crc != stored_crc:
+            raise CorruptDataError(
+                f"graph frame {index} checksum mismatch: "
+                f"stored {stored_crc:#010x}, computed {actual_crc:#010x}"
+            )
+        frames.append((raw_len, payload))
+    return spec, frames, pos

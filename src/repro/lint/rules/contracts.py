@@ -61,14 +61,17 @@ class DecodeBoundaryRule(Rule):
     id = "E001"
     title = "codec decode path leaks or swallows corruption exceptions"
     rationale = (
-        "Decode helpers in repro/codecs that catch IndexError/ValueError/"
-        "struct.error-class exceptions must convert them to CorruptDataError "
-        "(or another CodecError); swallowing turns corruption into wrong "
-        "output, re-raising raw crashes the quarantine/recovery machinery."
+        "Decode helpers in repro/codecs and repro/graphs that catch "
+        "IndexError/ValueError/struct.error-class exceptions must convert "
+        "them to CorruptDataError (or another CodecError); swallowing turns "
+        "corruption into wrong output, re-raising raw crashes the "
+        "quarantine/recovery machinery."
     )
 
+    _DECODE_PACKAGES = ("repro/codecs/", "repro/graphs/")
+
     def is_exempt(self, ctx) -> bool:
-        return "repro/codecs/" not in ctx.path
+        return not any(pkg in ctx.path for pkg in self._DECODE_PACKAGES)
 
     def check(self, ctx) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -41,6 +41,10 @@ class CostCoefficients:
     decode_entropy_symbol: float = 4.5
     decode_byte_out: float = 0.25
     decode_call_overhead: float = 600.0
+    # -- structural transform stage (graph codecs; zero for flat codecs) --
+    #: cycles per byte moved through an invertible restructuring transform
+    #: (byte-plane transpose, delta, tokenize) -- vectorizable shuffles
+    transform_byte: float = 0.0
 
 
 #: Calibrated per-codec coefficients. Anchors (3 GHz core, lzbench-style
@@ -115,6 +119,31 @@ CODEC_COEFFICIENTS: Dict[str, CostCoefficients] = {
 # The gzip container shares the DEFLATE engine, so it shares zlib's costs.
 CODEC_COEFFICIENTS["gzip"] = CODEC_COEFFICIENTS["zlib"]
 
+# Graph codecs (repro.graphs): the entropy leaves carry zstd/lz4-style
+# stage counters, so the leaf work reuses zstd's calibration; the extra
+# ``transform_bytes`` counter prices the restructuring stage at roughly
+# one cycle per byte -- the cost of a cache-friendly byte shuffle.
+CODEC_COEFFICIENTS["graph"] = CostCoefficients(
+    scan=1.6,
+    probe=2.1,
+    candidate=3.9,
+    compare_byte=0.2,
+    sequence=7.8,
+    literal=0.65,
+    entropy_symbol=4.5,
+    entropy_bit=0.026,
+    table_build=1800.0,
+    call_overhead=2400.0,
+    byte_in=0.9,
+    decode_sequence=6.5,
+    decode_literal_byte=0.24,
+    decode_match_byte=0.32,
+    decode_entropy_symbol=2.4,
+    decode_byte_out=0.16,
+    decode_call_overhead=1100.0,
+    transform_byte=0.9,
+)
+
 
 @dataclass(frozen=True)
 class StageBreakdown:
@@ -144,6 +173,9 @@ class MachineModel:
     )
 
     def _coeffs(self, codec: str) -> CostCoefficients:
+        if codec not in self.coefficients and codec.startswith("graph:"):
+            # every named graph prices through the shared graph family
+            return self.coefficients.get("graph", CostCoefficients())
         return self.coefficients.get(codec, CostCoefficients())
 
     def compress_breakdown(self, codec: str, c: StageCounters) -> StageBreakdown:
@@ -163,7 +195,11 @@ class MachineModel:
             + k.entropy_bit * c.entropy_bits
             + k.table_build * c.table_builds
         )
-        overhead = k.call_overhead + k.byte_in * c.bytes_in
+        overhead = (
+            k.call_overhead
+            + k.byte_in * c.bytes_in
+            + k.transform_byte * c.transform_bytes
+        )
         return StageBreakdown(match_finding, entropy, overhead)
 
     def compress_cycles(self, codec: str, counters: StageCounters) -> float:
@@ -177,6 +213,7 @@ class MachineModel:
             + k.decode_match_byte * c.match_bytes_copied
             + k.decode_entropy_symbol * c.entropy_symbols_decoded
             + k.decode_byte_out * c.bytes_out
+            + k.transform_byte * c.transform_bytes
             + k.decode_call_overhead
         )
 

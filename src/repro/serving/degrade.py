@@ -129,6 +129,7 @@ def build_ladder(
     machine: MachineModel = DEFAULT_MACHINE,
     max_rungs: int = 4,
     thresholds: Optional[Sequence[float]] = None,
+    graphs: Sequence[str] = (),
 ) -> DegradationLadder:
     """Measure a candidate grid and assemble the ladder.
 
@@ -136,6 +137,12 @@ def build_ladder(
     the speed/ratio Pareto frontier restricted to configurations strictly
     faster than rung 0, ascending in speed, downsampled to ``max_rungs``
     total (keeping the fastest so the ladder always ends at its floor).
+
+    ``graphs`` adds trained graph codecs (:mod:`repro.graphs`) to the
+    grid by name — ``("record",)`` enters ``graph:record`` as a
+    candidate. Graph rungs compete on exactly the same cost model as the
+    flat configs; an empty tuple (the default) keeps ladders
+    byte-identical to the pre-graph behavior.
     """
     if max_rungs < 1:
         raise ValueError("max_rungs must be at least 1")
@@ -143,6 +150,9 @@ def build_ladder(
         cost_model = CostModel(CostParameters.from_price_book(beta=1e-6))
     engine = CompEngine(samples, machine=machine)
     grid = config_grid(algorithms, levels=levels)
+    grid.extend(
+        CompressionConfig(f"graph:{name}", 1) for name in graphs
+    )
     result = CompOpt(engine, cost_model).optimize(grid)
     preferred = result.best if result.best is not None else result.best_any
     if preferred is None:

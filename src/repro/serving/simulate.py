@@ -217,13 +217,23 @@ def _resolve_scenario(scenario) -> ServingScenario:
         )
 
 
-def build_scenario_ladder(requests: Sequence) -> DegradationLadder:
-    """Ladder measured on the run's own leading payloads."""
+def build_scenario_ladder(
+    requests: Sequence, graphs: Sequence[str] = ()
+) -> DegradationLadder:
+    """Ladder measured on the run's own leading payloads.
+
+    ``graphs`` names trained graph codecs (``repro.graphs``) to enter as
+    ladder candidates alongside the flat grid; empty keeps the ladder —
+    and therefore every downstream scorecard byte — unchanged.
+    """
     samples = [r.payload for r in requests[:_LADDER_SAMPLES] if r.payload]
     if not samples:
         samples = [b"serving ladder reference sample " * 32]
     return build_ladder(
-        samples, algorithms=_LADDER_ALGORITHMS, levels=_LADDER_LEVELS
+        samples,
+        algorithms=_LADDER_ALGORITHMS,
+        levels=_LADDER_LEVELS,
+        graphs=graphs,
     )
 
 
@@ -241,6 +251,7 @@ def run_simulation(
     window_seconds: float = DEFAULT_WINDOW_SECONDS,
     slo_config: Optional[ServingSLOConfig] = None,
     with_timeline: bool = True,
+    graphs: Optional[Sequence[str]] = None,
 ) -> ServingReport:
     """Run one scenario end to end; returns the full report.
 
@@ -248,7 +259,9 @@ def run_simulation(
     convention as ``repro chaos --ops``); ``degradation`` overrides the
     ladder on/off (None = on); ``jobs`` sizes the gateway's executor —
     output is byte-identical across job counts because compression output
-    and modeled time are functions of the payload alone.
+    and modeled time are functions of the payload alone; ``graphs``
+    names trained graph codecs to enter as ladder candidates (None/empty
+    preserves the pre-graph ladder byte for byte).
 
     With ``with_timeline`` (the default) the run also records
     fixed-width metric windows, evaluates the serving SLOs after each
@@ -274,7 +287,7 @@ def run_simulation(
         diurnal_amplitude=sc.diurnal_amplitude,
     )
     requests = workload.generate()
-    ladder = build_scenario_ladder(requests)
+    ladder = build_scenario_ladder(requests, graphs=graphs or ())
     clock = SimClock()
     controller = AdmissionController(
         bucket=TokenBucket(sc.token_rate, sc.token_burst, clock),

@@ -203,6 +203,29 @@ class TestE001DecodeBoundary:
         """
         assert "E001" not in rule_ids(src, path="src/repro/corpus/fixture.py")
 
+    def test_graphs_package_is_in_scope(self):
+        src = """
+        def decode_stream(buf):
+            try:
+                return buf[4], buf[8]
+            except IndexError:
+                return None, None
+        """
+        assert "E001" in rule_ids(src, path="src/repro/graphs/fixture.py")
+
+    def test_graphs_reraise_as_corrupt_is_clean(self):
+        src = """
+        class CorruptDataError(Exception):
+            pass
+
+        def decode_stream(buf):
+            try:
+                return buf[4], buf[8]
+            except IndexError as exc:
+                raise CorruptDataError("truncated frame") from exc
+        """
+        assert "E001" not in rule_ids(src, path="src/repro/graphs/fixture.py")
+
 
 class TestO001InstrumentationGuard:
     def test_unguarded_hook_trips(self):

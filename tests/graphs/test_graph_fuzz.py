@@ -1,0 +1,167 @@
+"""Seeded fuzz: random graphs x boundary payloads must round-trip exactly.
+
+Like the codec fuzz suites, the corpus walks ``REPRO_FUZZ_SEED`` (CI sets
+it from the date; locally it defaults to a fixed value). Every assertion
+message carries the seed so a red run replays with::
+
+    REPRO_FUZZ_SEED=<seed> pytest tests/graphs/test_graph_fuzz.py
+
+Graphs are sampled from the same grammar the search mutates, so the fuzz
+covers shapes training could actually emit — not just the trained trio.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.graphs.codec import GraphCompressor
+from repro.graphs.model import MAX_DEPTH, validate_spec
+
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20230913"))
+
+_LEAVES = [
+    {"kind": "leaf", "codec": "zstd", "level": 1},
+    {"kind": "leaf", "codec": "zlib", "level": 6},
+    {"kind": "leaf", "codec": "lz4", "level": 1},
+    {"kind": "store"},
+]
+
+_SIZES = [0, 1, 7, 63, 64, 65, 1023, 4096]
+_STYLES = ["random", "records", "zeros", "floats"]
+
+
+def _payload(rng: random.Random, size: int, style: str) -> bytes:
+    if style == "random":
+        return bytes(rng.getrandbits(8) for _ in range(size))
+    if style == "zeros":
+        return b"\x00" * size
+    if style == "floats":
+        import struct
+
+        vals = [rng.random() * 100 for _ in range((size // 8) + 1)]
+        return struct.pack(f"<{len(vals)}d", *vals)[:size]
+    row = b"id=%d|country=US|score=0.5|\n"
+    out = b""
+    i = 0
+    while len(out) < size:
+        out += row % i
+        i += 1
+    return out[:size]
+
+
+def _random_spec(rng: random.Random, depth: int = 0) -> dict:
+    if depth >= MAX_DEPTH - 1 or rng.random() < 0.35:
+        return dict(rng.choice(_LEAVES))
+    kind = rng.choice(
+        ["transpose", "delta", "zigzag", "varint", "tokenize", "floatsplit",
+         "headsplit", "slice"]
+    )
+    if kind == "transpose":
+        return {
+            "kind": kind,
+            "width": rng.choice([2, 4, 8, 16, 32]),
+            "child": _random_spec(rng, depth + 1),
+        }
+    if kind in ("delta", "zigzag", "varint"):
+        return {
+            "kind": kind,
+            "width": rng.choice([1, 2, 4, 8]),
+            "child": _random_spec(rng, depth + 1),
+        }
+    if kind == "tokenize":
+        lanes = rng.randint(1, 4)
+        node = {
+            "kind": kind,
+            "delim": rng.choice([0, 10, 44, 124]),
+            "lanes": lanes,
+            "children": [_random_spec(rng, depth + 1) for _ in range(1 + lanes)],
+        }
+        if rng.random() < 0.5:
+            node["reset"] = rng.choice([10, 0])
+        return node
+    if kind == "floatsplit":
+        width = rng.choice([2, 4, 8])
+        return {
+            "kind": kind,
+            "width": width,
+            "hi": rng.randint(1, width - 1),
+            "children": [_random_spec(rng, depth + 1) for _ in range(2)],
+        }
+    if kind == "headsplit":
+        return {
+            "kind": kind,
+            "marker": rng.choice([0, 10, 124]),
+            "children": [_random_spec(rng, depth + 1) for _ in range(2)],
+        }
+    sections = rng.randint(1, 3)
+    return {
+        "kind": "slice",
+        "sizes": [rng.choice([0, 1, 16, 67, 4096]) for _ in range(sections)],
+        "children": [_random_spec(rng, depth + 1) for _ in range(sections + 1)],
+    }
+
+
+@pytest.mark.parametrize("round_index", range(12))
+def test_random_graphs_roundtrip(round_index):
+    rng = random.Random(f"{FUZZ_SEED}:{round_index}")
+    spec = _random_spec(rng)
+    try:
+        validate_spec(spec)
+    except Exception:  # graph grew past the node cap — resample shallower
+        spec = dict(rng.choice(_LEAVES))
+    codec = GraphCompressor(f"fuzz{round_index}", spec)
+    for size in _SIZES:
+        style = rng.choice(_STYLES)
+        data = _payload(rng, size, style)
+        blob = codec.compress(data, 1).data
+        back = codec.decompress(blob).data
+        assert back == data, (
+            f"round-trip mismatch: REPRO_FUZZ_SEED={FUZZ_SEED} "
+            f"round={round_index} size={size} style={style} spec={spec}"
+        )
+
+
+@pytest.mark.parametrize("round_index", range(4))
+def test_random_graphs_are_deterministic(round_index):
+    rng = random.Random(f"{FUZZ_SEED}:det:{round_index}")
+    spec = _random_spec(rng)
+    try:
+        validate_spec(spec)
+    except Exception:
+        spec = dict(rng.choice(_LEAVES))
+    data = _payload(rng, 2048, "records")
+    codec = GraphCompressor(f"det{round_index}", spec)
+    first = codec.compress(data, 1).data
+    second = GraphCompressor(f"det{round_index}", spec).compress(data, 1).data
+    assert first == second, (
+        f"nondeterministic compress: REPRO_FUZZ_SEED={FUZZ_SEED} "
+        f"round={round_index} spec={spec}"
+    )
+
+
+@pytest.mark.parametrize("round_index", range(6))
+def test_bitflipped_streams_never_escape(round_index):
+    """Corrupting a fuzzed stream raises CorruptDataError or decodes exactly."""
+    from repro.codecs.base import CorruptDataError
+
+    rng = random.Random(f"{FUZZ_SEED}:flip:{round_index}")
+    spec = _random_spec(rng)
+    try:
+        validate_spec(spec)
+    except Exception:
+        spec = dict(rng.choice(_LEAVES))
+    data = _payload(rng, 1024, rng.choice(_STYLES))
+    codec = GraphCompressor(f"flip{round_index}", spec)
+    blob = bytearray(codec.compress(data, 1).data)
+    for _ in range(40):
+        pos = rng.randrange(len(blob))
+        old = blob[pos]
+        blob[pos] ^= 1 << rng.randrange(8)
+        try:
+            codec.decompress(bytes(blob))
+        except CorruptDataError:
+            pass  # the contract: corruption is *reported*, typed
+        # a flip may land in dead space (e.g. high uvarint padding) and
+        # still decode -- acceptable as long as no raw exception escaped
+        blob[pos] = old

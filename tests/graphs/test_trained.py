@@ -1,0 +1,84 @@
+"""Acceptance: trained graphs beat the best flat config on >= 2 categories.
+
+This is the PR's headline claim, stated the way the paper would: at
+*comparable modeled cost* (flat configs within 3x the graph's modeled
+compress seconds), the per-category trained graph wins on ratio for at
+least two of the three corpus categories. The text category is allowed to
+lose — JSON-lines template redundancy spans fields, so flat LZ sees
+matches the column split destroys — and the trained module documents it.
+"""
+
+import pytest
+
+from repro.core.config import CompressionConfig
+from repro.core.engine import CompEngine
+from repro.core.optimizer import CompOpt
+from repro.graphs.samples import category_sample
+from repro.graphs.search import default_cost_model
+from repro.graphs.trained import TRAINED_CATEGORIES, TRAINED_GRAPHS
+
+#: flat comparison grid: the levels a service would realistically run
+_FLAT_GRID = [
+    ("zstd", 1),
+    ("zstd", 3),
+    ("zstd", 6),
+    ("zstd", 9),
+    ("zlib", 6),
+    ("zlib", 9),
+    ("lz4", 1),
+]
+
+#: a flat config "comparable" when its modeled compress time is within this
+_COST_WINDOW = 3.0
+
+
+def _category_outcome(category: str, seed: int):
+    data = category_sample(category, size=65536, seed=seed)
+    engine = CompEngine([data])
+    opt = CompOpt(engine, default_cost_model())
+    configs = [CompressionConfig(a, l) for a, l in _FLAT_GRID]
+    configs.append(CompressionConfig(f"graph:{category}", 1))
+    ranked = opt.optimize(configs).ranked
+    graph = next(r for r in ranked if r.config.algorithm.startswith("graph:"))
+    budget = _COST_WINDOW * graph.metrics.compress_seconds
+    window = [
+        r
+        for r in ranked
+        if not r.config.algorithm.startswith("graph:")
+        and r.metrics.compress_seconds <= budget
+    ]
+    best_flat = max(window, key=lambda r: r.metrics.ratio) if window else None
+    return graph, best_flat
+
+
+def test_trained_graphs_beat_flat_on_two_categories():
+    wins = {}
+    for category in TRAINED_CATEGORIES:
+        graph, best_flat = _category_outcome(category, seed=3)
+        wins[category] = (
+            best_flat is None or graph.metrics.ratio > best_flat.metrics.ratio
+        )
+    assert sum(wins.values()) >= 2, (
+        f"trained graphs must beat the best comparable flat config on at "
+        f"least 2 of {len(TRAINED_CATEGORIES)} categories, got {wins}"
+    )
+
+
+@pytest.mark.parametrize("category", ["record", "float"])
+@pytest.mark.parametrize("seed", [3, 11])
+def test_winning_categories_win_across_seeds(category, seed):
+    """The two documented winners must win on fresh sample draws too."""
+    graph, best_flat = _category_outcome(category, seed=seed)
+    assert best_flat is None or graph.metrics.ratio > best_flat.metrics.ratio, (
+        f"graph:{category} ratio {graph.metrics.ratio:.3f} lost to "
+        f"{best_flat.config.label()} {best_flat.metrics.ratio:.3f} at seed {seed}"
+    )
+
+
+def test_every_trained_graph_is_valid_and_labeled():
+    from repro.graphs.model import spec_label, validate_spec
+
+    assert set(TRAINED_GRAPHS) == set(TRAINED_CATEGORIES)
+    for category, spec in TRAINED_GRAPHS.items():
+        validate_spec(spec)
+        assert spec_label(spec), f"{category} graph has no label"
